@@ -1,0 +1,35 @@
+//! ABL-2 — the HIP puzzle's DoS asymmetry (§IV-B): solving costs grow
+//! exponentially with K while verification stays a single hash, which is
+//! what lets a loaded responder shed load onto initiators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hip_core::identity::Hit;
+use hip_core::puzzle;
+
+fn bench_puzzle(c: &mut Criterion) {
+    let hi = Hit([0xaa; 16]);
+    let hr = Hit([0xbb; 16]);
+    let mut g = c.benchmark_group("puzzle_solve");
+    for k in [0u8, 4, 8, 12, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                puzzle::solve(std::hint::black_box(i), k, &hi, &hr, 0)
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("puzzle_verify");
+    for k in [8u8, 16] {
+        let (j, _) = puzzle::solve(42, k, &hi, &hr, 0);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| puzzle::verify(std::hint::black_box(42), k, &hi, &hr, j))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_puzzle);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Scratch diagnostic: CPU accounting under each scenario.
+
+use cloudsim::Flavor;
+use netsim::{SimDuration, SimTime};
+use websvc::deploy::{deploy_rubis, RubisConfig};
+use websvc::loadgen::JmeterApp;
+use websvc::rubis::WorkloadMix;
+use websvc::Scenario;
+
+fn tab_rt() {
+    use websvc::loadgen::HttperfApp;
+    for scenario in [Scenario::Basic, Scenario::HipLsi, Scenario::Ssl] {
+        let cfg = RubisConfig::tab_rt(scenario, 42);
+        let (users, items) = (cfg.users, cfg.items);
+        let mut dep = deploy_rubis(cfg);
+        let gen_host = dep.topo.add_external_host("httperf", Flavor::Dedicated);
+        let mut app = HttperfApp::new(dep.frontend, 120.0, WorkloadMix::read_only(), users, items);
+        app.measure_from = SimTime::ZERO + SimDuration::from_secs(10);
+        let idx = dep.topo.host_mut(gen_host).add_app(Box::new(app));
+        dep.topo.sim.run_until(SimTime::ZERO + SimDuration::from_secs(40));
+        let gen = dep.topo.host(gen_host).app::<HttperfApp>(idx).unwrap();
+        let web = dep.topo.host(dep.webs[0]);
+        println!(
+            "TAB {:8} completed={} mean={:.1}ms sd={:.1} web_busy={:.1}% errors={}",
+            scenario.label(),
+            gen.completed,
+            gen.latency.mean(),
+            gen.latency.stddev(),
+            web.core.cpu.busy_time().as_secs_f64() / 40.0 * 100.0,
+            gen.errors,
+        );
+    }
+}
+
+fn main() {
+    tab_rt();
+    for scenario in [Scenario::Basic, Scenario::HipLsi, Scenario::Ssl] {
+        let cfg = RubisConfig::fig2(scenario, 42);
+        let (users, items) = (cfg.users, cfg.items);
+        let mut dep = deploy_rubis(cfg);
+        let gen_host = dep.topo.add_external_host("jmeter", Flavor::Dedicated);
+        let mut app = JmeterApp::new(dep.frontend, 50, WorkloadMix::default(), users, items);
+        app.measure_from = SimTime::ZERO + SimDuration::from_secs(8);
+        let idx = dep.topo.host_mut(gen_host).add_app(Box::new(app));
+        dep.topo.sim.run_until(SimTime::ZERO + SimDuration::from_secs(16));
+        let gen = dep.topo.host(gen_host).app::<JmeterApp>(idx).unwrap();
+        println!(
+            "{:8} completed={} ({:.0} req/s) mean_lat={:.1}ms",
+            scenario.label(),
+            gen.completed,
+            gen.completed as f64 / 8.0,
+            gen.latency.mean()
+        );
+        for (i, w) in dep.webs.iter().enumerate() {
+            let h = dep.topo.host(*w);
+            let webapp = h.app::<websvc::webserver::WebServerApp>(0).unwrap();
+            println!(
+                "  web{i}: busy={:.2}s credits={:?} reqs={} resp={}",
+                h.core.cpu.busy_time().as_secs_f64(),
+                h.core.cpu.credits(),
+                webapp.stats.requests,
+                webapp.stats.responses,
+            );
+            if let Some(shim) = h.shim::<hip_core::HipShim>() {
+                println!(
+                    "    hip: esp_in={} esp_out={} bytes_in={} bytes_out={}",
+                    shim.stats.esp_in, shim.stats.esp_out, shim.stats.esp_bytes_in, shim.stats.esp_bytes_out
+                );
+            }
+        }
+        let db = dep.topo.host(dep.db);
+        println!(
+            "  db: busy={:.2}s queries={}",
+            db.core.cpu.busy_time().as_secs_f64(),
+            db.app::<websvc::db::DbServerApp>(0).unwrap().stats.queries
+        );
+        if let Some(lb) = dep.lb {
+            let h = dep.topo.host(lb);
+            println!("  lb: busy={:.2}s", h.core.cpu.busy_time().as_secs_f64());
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Figure 2**: Basic, HIP and SSL throughput comparison
+//! in Amazon with Rubis — average successful requests/second vs number
+//! of concurrent clients {2, 3, 4, 6, 10, 20, 30, 50}.
+//!
+//! Usage: `cargo run -p bench --release --bin fig2_throughput [--quick]`
+
+use bench::fig2::{run_sweep, CLIENT_COUNTS};
+use bench::report::{bar, table, write_csv};
+use netsim::SimDuration;
+use websvc::Scenario;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (warmup, measure) = if quick {
+        (SimDuration::from_secs(6), SimDuration::from_secs(6))
+    } else {
+        (SimDuration::from_secs(10), SimDuration::from_secs(20))
+    };
+    eprintln!(
+        "fig2: sweeping 3 scenarios x {} client counts ({}s warmup + {}s measure each; parallel)...",
+        CLIENT_COUNTS.len(),
+        warmup.as_secs_f64(),
+        measure.as_secs_f64()
+    );
+    let points = run_sweep(42, warmup, measure);
+
+    let scenarios = [Scenario::Basic, Scenario::HipLsi, Scenario::Ssl];
+    let mut rows = Vec::new();
+    for &clients in &CLIENT_COUNTS {
+        let mut row = vec![clients.to_string()];
+        for &s in &scenarios {
+            let p = points
+                .iter()
+                .find(|p| p.scenario == s && p.clients == clients)
+                .expect("point present");
+            row.push(format!("{:.1}", p.throughput));
+        }
+        rows.push(row);
+    }
+    println!("\nFigure 2 — RUBiS throughput (requests/second) in the simulated EC2:");
+    println!("{}", table(&["clients", "Basic", "HIP", "SSL"], &rows));
+    if let Ok(path) = write_csv("fig2_throughput", &["clients", "basic", "hip", "ssl"], &rows) {
+        eprintln!("wrote {}", path.display());
+    }
+
+    // Terminal rendition of the figure.
+    let max = points.iter().map(|p| p.throughput).fold(0.0, f64::max);
+    println!("throughput (each █ ≈ {:.0} req/s):", max / 40.0);
+    for &s in &scenarios {
+        println!("{:>6}:", s.label());
+        for &clients in &CLIENT_COUNTS {
+            let p = points.iter().find(|p| p.scenario == s && p.clients == clients).expect("point");
+            println!("  {:>3} | {} {:.0}", clients, bar(p.throughput, max, 40), p.throughput);
+        }
+    }
+    println!("\npaper (Fig. 2): Basic rises to ~250 req/s at 50 clients while HIP and");
+    println!("SSL saturate in the ~150-160 range from ~20 clients on, HIP slightly");
+    println!("below SSL (LSI translations). Compare shapes, not absolute values.");
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Figure 3**: iperf TCP bandwidth and ICMP RTT between
+//! two EC2 VMs for LSI(IPv4), Teredo, IPv4, HIT(IPv4), HIT(Teredo) and
+//! LSI(Teredo) connectivity (20 echo requests for the RTT series, as in
+//! the paper).
+//!
+//! Usage: `cargo run -p bench --release --bin fig3_iperf_rtt [--quick]`
+
+use bench::fig3::{run_all, Fig3Mode};
+use bench::report::{bar, table, write_csv};
+use netsim::SimDuration;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration = if quick { SimDuration::from_secs(3) } else { SimDuration::from_secs(10) };
+    eprintln!(
+        "fig3: iperf ({}s transfer) + 20-ping RTT across 6 modes (parallel)...",
+        duration.as_secs_f64()
+    );
+    let points = run_all(42, duration, 20);
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.mode.label().to_string(),
+                format!("{:.1}", p.mbits),
+                format!("{:.2}", p.rtt_ms),
+                format!("{}/20", p.pings_received),
+            ]
+        })
+        .collect();
+    println!("\nFigure 3 — iperf bandwidth and ICMP RTT between two EC2 VMs:");
+    println!("{}", table(&["mode", "iperf Mbit/s", "RTT ms", "pings"], &rows));
+    if let Ok(path) = write_csv("fig3_iperf_rtt", &["mode", "iperf_mbits", "rtt_ms", "pings"], &rows) {
+        eprintln!("wrote {}", path.display());
+    }
+
+    let max_bw = points.iter().map(|p| p.mbits).fold(0.0, f64::max);
+    let max_rtt = points.iter().map(|p| p.rtt_ms).fold(0.0, f64::max);
+    println!("bandwidth:");
+    for p in &points {
+        println!("  {:>12} | {} {:.1}", p.mode.label(), bar(p.mbits, max_bw, 36), p.mbits);
+    }
+    println!("RTT:");
+    for p in &points {
+        println!("  {:>12} | {} {:.2}", p.mode.label(), bar(p.rtt_ms, max_rtt, 36), p.rtt_ms);
+    }
+    println!("\npaper (Fig. 3): plain IPv4 is the fastest path; HIT(IPv4) close behind;");
+    println!("\"LSI translation is slower than with HITs due to some extra processing");
+    println!("overhead, while Teredo has the worst latency\" — the Teredo modes pay the");
+    println!("external relay detour in both bandwidth and RTT.");
+    let _ = Fig3Mode::ALL;
+}

@@ -1,0 +1,121 @@
+//! Figure 2: RUBiS throughput vs concurrent clients for Basic/HIP/SSL.
+//!
+//! "We generated requests with several concurrent clients continuously
+//! generating random HTTP GET requests that resulted in queries to the
+//! database server. Then we calculated the average throughput (the
+//! number of successful requests served per second) for the three
+//! scenarios. Database caching was not employed."
+
+use cloudsim::Flavor;
+use netsim::{SimDuration, SimTime};
+use websvc::deploy::{deploy_rubis, RubisConfig};
+use websvc::loadgen::JmeterApp;
+use websvc::rubis::WorkloadMix;
+use websvc::Scenario;
+
+/// The client counts on the paper's x-axis.
+pub const CLIENT_COUNTS: [usize; 8] = [2, 3, 4, 6, 10, 20, 30, 50];
+
+/// One measured point.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig2Point {
+    /// Which security scenario.
+    pub scenario: Scenario,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Successful requests per second in the measurement window.
+    pub throughput: f64,
+    /// Mean response time (ms).
+    pub mean_latency_ms: f64,
+}
+
+/// Runs one (scenario, clients) cell.
+pub fn run_point(
+    scenario: Scenario,
+    clients: usize,
+    seed: u64,
+    warmup: SimDuration,
+    measure: SimDuration,
+) -> Fig2Point {
+    let cfg = RubisConfig::fig2(scenario, seed);
+    let (users, items) = (cfg.users, cfg.items);
+    let mut dep = deploy_rubis(cfg);
+    let gen_host = dep.topo.add_external_host("jmeter", Flavor::Dedicated);
+    let mut app = JmeterApp::new(dep.frontend, clients, WorkloadMix::default(), users, items);
+    app.measure_from = SimTime::ZERO + warmup;
+    let idx = dep.topo.host_mut(gen_host).add_app(Box::new(app));
+    dep.topo.sim.run_until(SimTime::ZERO + warmup + measure);
+    let gen = dep.topo.host(gen_host).app::<JmeterApp>(idx).expect("generator");
+    Fig2Point {
+        scenario,
+        clients,
+        throughput: gen.completed as f64 / measure.as_secs_f64(),
+        mean_latency_ms: gen.latency.mean(),
+    }
+}
+
+/// Runs the full sweep, parallelized across cells (each cell is an
+/// independent deterministic simulation — this is where the workspace
+/// uses threads, never inside a run).
+pub fn run_sweep(seed: u64, warmup: SimDuration, measure: SimDuration) -> Vec<Fig2Point> {
+    let scenarios = [Scenario::Basic, Scenario::HipLsi, Scenario::Ssl];
+    let cells: Vec<(Scenario, usize)> = scenarios
+        .iter()
+        .flat_map(|&s| CLIENT_COUNTS.iter().map(move |&c| (s, c)))
+        .collect();
+    let results = std::sync::Mutex::new(Vec::with_capacity(cells.len()));
+    let n_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..n_workers.min(cells.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(s, c)) = cells.get(i) else { break };
+                let point = run_point(s, c, seed, warmup, measure);
+                results.lock().expect("no poisoning").push(point);
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut out = results.into_inner().expect("no poisoning");
+    out.sort_by_key(|p| (p.scenario.label(), p.clients));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_has_sane_output() {
+        let p = run_point(
+            Scenario::Basic,
+            4,
+            1,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(3),
+        );
+        assert!(p.throughput > 10.0, "throughput {}", p.throughput);
+        assert!(p.mean_latency_ms > 1.0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_parallel_runs() {
+        // The same seed must give identical results regardless of thread
+        // scheduling (each cell is an isolated simulation).
+        let short = SimDuration::from_millis(1500);
+        let a = run_sweep_subset(9, short);
+        let b = run_sweep_subset(9, short);
+        assert_eq!(a, b);
+    }
+
+    fn run_sweep_subset(seed: u64, measure: SimDuration) -> Vec<(usize, u64)> {
+        [2usize, 6]
+            .iter()
+            .map(|&c| {
+                let p = run_point(Scenario::Basic, c, seed, SimDuration::from_millis(500), measure);
+                (c, (p.throughput * 1000.0) as u64)
+            })
+            .collect()
+    }
+}

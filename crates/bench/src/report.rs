@@ -1,0 +1,85 @@
+//! Small text-table helpers for the experiment binaries.
+
+/// Renders an ASCII table: header row + data rows, columns padded.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Writes rows as a CSV file under `results/` (creating the directory),
+/// so figures can be re-plotted externally. Returns the path written.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// A crude horizontal bar for terminal "figures".
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let filled = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+    "█".repeat(filled.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "{t}");
+        assert!(t.contains("longer-name"));
+    }
+
+    #[test]
+    fn bar_scaling() {
+        assert_eq!(bar(50.0, 100.0, 10).chars().count(), 5);
+        assert_eq!(bar(0.0, 100.0, 10), "");
+        assert_eq!(bar(200.0, 100.0, 10).chars().count(), 10, "clamped");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

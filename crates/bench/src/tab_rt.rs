@@ -1,0 +1,94 @@
+//! The response-time experiment (§V-B):
+//!
+//! "The experiments involved testing the performance of a single web
+//! server connected to a database server, where we used the httperf
+//! client to generate requests at a high rate (120 request/sec)...
+//! MySQL query caching was enabled... The mean response times for
+//! Basic, HIP and SSL cases were 116.4 ms, 132.2 ms and 128.3 ms
+//! respectively."
+
+use cloudsim::Flavor;
+use netsim::{SimDuration, SimTime};
+use websvc::deploy::{deploy_rubis, RubisConfig};
+use websvc::loadgen::HttperfApp;
+use websvc::rubis::WorkloadMix;
+use websvc::Scenario;
+
+/// The paper's request rate.
+pub const PAPER_RATE: f64 = 120.0;
+
+/// One scenario's measured response-time distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct TabRtRow {
+    /// Which security scenario.
+    pub scenario: Scenario,
+    /// Responses completed in the measurement window.
+    pub completed: u64,
+    /// Mean response time (ms).
+    pub mean_ms: f64,
+    /// Sample standard deviation (ms).
+    pub stddev_ms: f64,
+    /// 99th-percentile response time (ms).
+    pub p99_ms: f64,
+}
+
+/// Runs the open-loop response-time measurement for one scenario.
+pub fn run(scenario: Scenario, rate: f64, seed: u64, warmup: SimDuration, measure: SimDuration) -> TabRtRow {
+    let cfg = RubisConfig::tab_rt(scenario, seed);
+    let (users, items) = (cfg.users, cfg.items);
+    let mut dep = deploy_rubis(cfg);
+    let gen_host = dep.topo.add_external_host("httperf", Flavor::Dedicated);
+    let mut app = HttperfApp::new(dep.frontend, rate, WorkloadMix::read_only(), users, items);
+    app.measure_from = SimTime::ZERO + warmup;
+    let idx = dep.topo.host_mut(gen_host).add_app(Box::new(app));
+    dep.topo.sim.run_until(SimTime::ZERO + warmup + measure);
+    let gen = dep.topo.host(gen_host).app::<HttperfApp>(idx).expect("generator");
+    TabRtRow {
+        scenario,
+        completed: gen.completed,
+        mean_ms: gen.latency.mean(),
+        stddev_ms: gen.latency.stddev(),
+        p99_ms: gen.latency.percentile(99.0),
+    }
+}
+
+/// Runs all three scenarios (in parallel; independent simulations).
+pub fn run_all(rate: f64, seed: u64, warmup: SimDuration, measure: SimDuration) -> Vec<TabRtRow> {
+    let scenarios = [Scenario::Basic, Scenario::HipLsi, Scenario::Ssl];
+    let mut rows: Vec<Option<TabRtRow>> = vec![None; scenarios.len()];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &s in &scenarios {
+            handles.push(scope.spawn(move |_| run(s, rate, seed, warmup, measure)));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            rows[i] = Some(h.join().expect("scenario run panicked"));
+        }
+    })
+    .expect("scope");
+    rows.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper() {
+        // Short windows for test speed; the bin uses longer ones.
+        let rows = run_all(
+            PAPER_RATE,
+            5,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(15),
+        );
+        let mean = |s: Scenario| rows.iter().find(|r| r.scenario == s).expect("present").mean_ms;
+        let basic = mean(Scenario::Basic);
+        let hip = mean(Scenario::HipLsi);
+        let ssl = mean(Scenario::Ssl);
+        assert!(basic < ssl, "basic {basic:.1} < ssl {ssl:.1}");
+        assert!(ssl < hip, "ssl {ssl:.1} < hip {hip:.1} (LSI translation penalty)");
+        // All stable (no overload): comparable magnitudes.
+        assert!(hip < basic * 3.0, "hip {hip:.1} not exploded vs basic {basic:.1}");
+    }
+}

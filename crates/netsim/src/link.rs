@@ -1,0 +1,291 @@
+//! Point-to-point links.
+//!
+//! A link connects two node interfaces with configurable latency,
+//! bandwidth, random loss and jitter. Serialization delay is charged per
+//! direction against a `busy_until` watermark, which models an output
+//! queue: back-to-back packets queue behind each other, so TCP sees a
+//! genuine bandwidth bottleneck rather than an abstract rate cap.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a link within the simulation world.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LinkId(pub usize);
+
+/// Identifies a node within the simulation world.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// One endpoint of a link: a node and its interface index on that node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Endpoint {
+    /// The attached node.
+    pub node: NodeId,
+    /// The interface index on that node.
+    pub iface: usize,
+}
+
+/// Link configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkParams {
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Bits per second each direction can carry.
+    pub bandwidth_bps: u64,
+    /// Probability in [0, 1) that a packet is silently dropped.
+    pub loss: f64,
+    /// Maximum uniform random extra delay added per packet.
+    pub jitter: SimDuration,
+    /// Output queue capacity in bytes per direction; packets that would
+    /// queue beyond this are dropped (tail drop). `usize::MAX` = infinite.
+    pub queue_bytes: usize,
+}
+
+impl LinkParams {
+    /// A typical intra-datacenter link: 1 Gbit/s, 250 µs one-way.
+    pub fn datacenter() -> Self {
+        LinkParams {
+            latency: SimDuration::from_micros(250),
+            bandwidth_bps: 1_000_000_000,
+            loss: 0.0,
+            jitter: SimDuration::ZERO,
+            queue_bytes: 512 * 1024,
+        }
+    }
+
+    /// A WAN link between data centers: 100 Mbit/s, 10 ms one-way.
+    pub fn wan() -> Self {
+        LinkParams {
+            latency: SimDuration::from_millis(10),
+            bandwidth_bps: 100_000_000,
+            loss: 0.0,
+            jitter: SimDuration::ZERO,
+            queue_bytes: 1024 * 1024,
+        }
+    }
+
+    /// A consumer access link: 20 Mbit/s, 15 ms one-way.
+    pub fn access() -> Self {
+        LinkParams {
+            latency: SimDuration::from_millis(15),
+            bandwidth_bps: 20_000_000,
+            loss: 0.0,
+            jitter: SimDuration::ZERO,
+            queue_bytes: 256 * 1024,
+        }
+    }
+
+    /// Sets the loss probability (builder style).
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss));
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the jitter bound (builder style).
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets latency (builder style).
+    pub fn with_latency(mut self, latency: SimDuration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets bandwidth (builder style).
+    pub fn with_bandwidth(mut self, bps: u64) -> Self {
+        assert!(bps > 0);
+        self.bandwidth_bps = bps;
+        self
+    }
+}
+
+/// A bidirectional link instance with per-direction queue state.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// This link's id in the world registry.
+    pub id: LinkId,
+    /// One endpoint.
+    pub a: Endpoint,
+    /// The other endpoint.
+    pub b: Endpoint,
+    /// Latency/bandwidth/loss configuration.
+    pub params: LinkParams,
+    /// `busy_until[0]` covers a→b, `[1]` covers b→a.
+    busy_until: [SimTime; 2],
+}
+
+/// The outcome of offering a packet to a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxResult {
+    /// Packet will arrive at the far endpoint at this time.
+    Deliver {
+        /// The receiving endpoint.
+        to: Endpoint,
+        /// Arrival time.
+        at: SimTime,
+    },
+    /// Packet was dropped (queue overflow or random loss).
+    Dropped,
+}
+
+impl Link {
+    /// Creates a link between two endpoints.
+    pub fn new(id: LinkId, a: Endpoint, b: Endpoint, params: LinkParams) -> Self {
+        Link { id, a, b, params, busy_until: [SimTime::ZERO; 2] }
+    }
+
+    /// The endpoint opposite `node`, if `node` terminates this link.
+    pub fn peer_of(&self, node: NodeId) -> Option<Endpoint> {
+        if self.a.node == node {
+            Some(self.b)
+        } else if self.b.node == node {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Offers a packet of `wire_len` bytes for transmission from `from`.
+    ///
+    /// `loss_draw` and `jitter_draw` are uniform samples in [0,1) supplied
+    /// by the caller so the link itself stays RNG-free (determinism is
+    /// owned by the simulator's single seeded RNG).
+    pub fn transmit(
+        &mut self,
+        from: NodeId,
+        wire_len: usize,
+        now: SimTime,
+        loss_draw: f64,
+        jitter_draw: f64,
+    ) -> TxResult {
+        let (dir, to) = if self.a.node == from {
+            (0, self.b)
+        } else if self.b.node == from {
+            (1, self.a)
+        } else {
+            panic!("node {from:?} is not an endpoint of link {:?}", self.id);
+        };
+        if loss_draw < self.params.loss {
+            return TxResult::Dropped;
+        }
+        let ser_ns = (wire_len as u64 * 8).saturating_mul(1_000_000_000) / self.params.bandwidth_bps;
+        let ser = SimDuration::from_nanos(ser_ns.max(1));
+        let start = self.busy_until[dir].max(now);
+        // Tail drop: how many bytes are already queued ahead of us?
+        let backlog_ns = start.since(now).as_nanos();
+        let backlog_bytes = (backlog_ns.saturating_mul(self.params.bandwidth_bps) / 8 / 1_000_000_000) as usize;
+        if backlog_bytes > self.params.queue_bytes {
+            return TxResult::Dropped;
+        }
+        self.busy_until[dir] = start + ser;
+        let jitter =
+            SimDuration::from_nanos((jitter_draw * self.params.jitter.as_nanos() as f64) as u64);
+        TxResult::Deliver { to, at: self.busy_until[dir] + self.params.latency + jitter }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link::new(
+            LinkId(0),
+            Endpoint { node: NodeId(0), iface: 0 },
+            Endpoint { node: NodeId(1), iface: 0 },
+            LinkParams {
+                latency: SimDuration::from_millis(1),
+                bandwidth_bps: 8_000_000, // 1 byte/µs
+                loss: 0.0,
+                jitter: SimDuration::ZERO,
+                queue_bytes: 10_000,
+            },
+        )
+    }
+
+    #[test]
+    fn delivery_time_includes_serialization_and_latency() {
+        let mut l = link();
+        let r = l.transmit(NodeId(0), 1000, SimTime::ZERO, 0.9, 0.0);
+        // 1000 bytes at 1 byte/µs = 1 ms serialization + 1 ms latency.
+        match r {
+            TxResult::Deliver { to, at } => {
+                assert_eq!(to.node, NodeId(1));
+                assert_eq!(at, SimTime(2_000_000));
+            }
+            _ => panic!("dropped"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let mut l = link();
+        let t1 = match l.transmit(NodeId(0), 1000, SimTime::ZERO, 0.9, 0.0) {
+            TxResult::Deliver { at, .. } => at,
+            _ => panic!(),
+        };
+        let t2 = match l.transmit(NodeId(0), 1000, SimTime::ZERO, 0.9, 0.0) {
+            TxResult::Deliver { at, .. } => at,
+            _ => panic!(),
+        };
+        assert_eq!(t2.since(t1), SimDuration::from_millis(1), "second serializes after first");
+    }
+
+    #[test]
+    fn directions_independent() {
+        let mut l = link();
+        let a = match l.transmit(NodeId(0), 1000, SimTime::ZERO, 0.9, 0.0) {
+            TxResult::Deliver { at, .. } => at,
+            _ => panic!(),
+        };
+        let b = match l.transmit(NodeId(1), 1000, SimTime::ZERO, 0.9, 0.0) {
+            TxResult::Deliver { at, .. } => at,
+            _ => panic!(),
+        };
+        assert_eq!(a, b, "reverse direction does not queue behind forward");
+    }
+
+    #[test]
+    fn loss_draw_respected() {
+        let mut l = link();
+        l.params.loss = 0.5;
+        assert_eq!(l.transmit(NodeId(0), 10, SimTime::ZERO, 0.49, 0.0), TxResult::Dropped);
+        assert!(matches!(
+            l.transmit(NodeId(0), 10, SimTime::ZERO, 0.51, 0.0),
+            TxResult::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut l = link();
+        l.params.queue_bytes = 1500;
+        let mut delivered = 0;
+        let mut dropped = 0;
+        for _ in 0..10 {
+            match l.transmit(NodeId(0), 1000, SimTime::ZERO, 0.9, 0.0) {
+                TxResult::Deliver { .. } => delivered += 1,
+                TxResult::Dropped => dropped += 1,
+            }
+        }
+        assert!(delivered >= 2 && dropped > 0, "delivered={delivered} dropped={dropped}");
+    }
+
+    #[test]
+    fn peer_of() {
+        let l = link();
+        assert_eq!(l.peer_of(NodeId(0)).unwrap().node, NodeId(1));
+        assert_eq!(l.peer_of(NodeId(1)).unwrap().node, NodeId(0));
+        assert!(l.peer_of(NodeId(7)).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn transmit_from_non_endpoint_panics() {
+        let mut l = link();
+        let _ = l.transmit(NodeId(9), 10, SimTime::ZERO, 0.9, 0.0);
+    }
+}

@@ -1,0 +1,1062 @@
+//! TCP: reliable byte streams over the simulated network.
+//!
+//! A real windowed TCP, not a fluid model: three-way handshake, MSS
+//! segmentation, cumulative ACKs, RTT estimation (RFC 6298), slow start
+//! and congestion avoidance, fast retransmit on three duplicate ACKs,
+//! exponential RTO backoff, receiver flow control with a configurable
+//! window (the paper's iperf run uses 85.3 KB server / 16 KB client
+//! windows), and FIN/RST teardown.
+//!
+//! The layer is embedded in a host ([`crate::host::Host`]). It never
+//! touches the event queue directly; it accumulates outgoing packets,
+//! application events and timer requests which the host drains after
+//! each call — keeping this module purely about protocol state.
+
+use crate::packet::{Packet, Payload, TcpFlags, TcpSegment};
+use crate::time::{SimDuration, SimTime};
+use bytes::Bytes;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::IpAddr;
+
+/// Identifies a socket within one host's TCP layer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SockId(pub usize);
+
+/// Events the TCP layer reports to applications (via the host).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TcpEvent {
+    /// Active open completed.
+    Connected(SockId),
+    /// A listener accepted a new connection.
+    Accepted {
+        /// The port the listener was bound to.
+        listener_port: u16,
+        /// The newly created connection socket.
+        sock: SockId,
+    },
+    /// New in-order data is available via `recv`.
+    Data(SockId),
+    /// The peer closed its direction (EOF after draining `recv`).
+    PeerClosed(SockId),
+    /// The connection is fully closed and the socket released.
+    Closed(SockId),
+    /// Active open failed (RST or SYN retransmission exhausted).
+    ConnectFailed(SockId),
+    /// The connection was reset by the peer.
+    Reset(SockId),
+}
+
+/// TCP tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes per packet).
+    pub mss: usize,
+    /// Advertised receive window in bytes.
+    pub recv_window: u32,
+    /// Initial congestion window in segments.
+    pub init_cwnd_segments: u32,
+    /// Initial retransmission timeout.
+    pub rto_initial: SimDuration,
+    /// Lower bound on the RTO.
+    pub rto_min: SimDuration,
+    /// SYN retries before giving up.
+    pub syn_retries: u32,
+    /// Disable congestion control (window limited by receiver only) —
+    /// not used by the experiments but handy for microbenchmarks.
+    pub congestion_control: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1448,
+            recv_window: 87_347, // the paper's 85.3 KB default window
+            init_cwnd_segments: 10,
+            rto_initial: SimDuration::from_millis(1000),
+            rto_min: SimDuration::from_millis(200),
+            syn_retries: 5,
+            congestion_control: true,
+        }
+    }
+}
+
+/// Connection states (simplified TIME-WAIT).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TcpState {
+    SynSent,
+    SynReceived,
+    Established,
+    FinWait1,
+    FinWait2,
+    CloseWait,
+    LastAck,
+    Closing,
+    TimeWait,
+    Closed,
+}
+
+struct TcpSocket {
+    id: SockId,
+    owner_app: usize,
+    local: (IpAddr, u16),
+    remote: (IpAddr, u16),
+    state: TcpState,
+    cfg: TcpConfig,
+
+    // --- send state ---
+    /// Oldest unacknowledged sequence number.
+    snd_una: u32,
+    /// Next sequence number to send.
+    snd_nxt: u32,
+    /// Bytes awaiting ACK or transmission, starting at `snd_una`.
+    send_buf: VecDeque<u8>,
+    /// Peer's advertised window.
+    snd_wnd: u32,
+    /// Congestion window (bytes).
+    cwnd: u64,
+    /// Slow-start threshold (bytes).
+    ssthresh: u64,
+    dup_acks: u32,
+    /// FIN queued after the data currently buffered.
+    fin_pending: bool,
+    /// Sequence number consumed by our FIN once sent.
+    fin_seq: Option<u32>,
+
+    // --- RTT estimation ---
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: SimDuration,
+    /// One outstanding RTT sample: (seq that must be acked, send time).
+    rtt_sample: Option<(u32, SimTime)>,
+    /// Retransmission deadline (lazy-cancelled timers check this).
+    rtx_deadline: Option<SimTime>,
+    rtx_count: u32,
+
+    // --- receive state ---
+    rcv_nxt: u32,
+    recv_buf: Vec<u8>,
+    /// Out-of-order segments keyed by sequence number.
+    ooo: BTreeMap<u32, Bytes>,
+    peer_fin_seq: Option<u32>,
+
+    /// TIME-WAIT expiry.
+    time_wait_deadline: Option<SimTime>,
+}
+
+/// Sequence-number comparison helpers (RFC 793 modular arithmetic).
+fn seq_lt(a: u32, b: u32) -> bool {
+    (b.wrapping_sub(a) as i32) > 0
+}
+fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+/// The per-host TCP layer.
+pub struct TcpLayer {
+    sockets: Vec<Option<TcpSocket>>,
+    conn_map: HashMap<(IpAddr, u16, IpAddr, u16), SockId>,
+    listeners: HashMap<u16, usize>,
+    next_ephemeral: u16,
+    /// Default configuration for new sockets.
+    pub config: TcpConfig,
+    /// Outgoing packets accumulated for the host to flush.
+    pub out: Vec<Packet>,
+    /// Application events accumulated for the host to dispatch.
+    pub events: Vec<(usize, TcpEvent)>,
+    /// Timer requests `(delay, token)` the host must arm (owner = Tcp).
+    pub timer_reqs: Vec<(SimDuration, u64)>,
+}
+
+impl TcpLayer {
+    /// Creates an empty layer.
+    pub fn new(config: TcpConfig) -> Self {
+        TcpLayer {
+            sockets: Vec::new(),
+            conn_map: HashMap::new(),
+            listeners: HashMap::new(),
+            next_ephemeral: 49152,
+            config,
+            out: Vec::new(),
+            events: Vec::new(),
+            timer_reqs: Vec::new(),
+        }
+    }
+
+    /// Starts listening on `port`, delivering accepts to `app`.
+    /// Returns false if the port is taken.
+    pub fn listen(&mut self, port: u16, app: usize) -> bool {
+        if self.listeners.contains_key(&port) {
+            return false;
+        }
+        self.listeners.insert(port, app);
+        true
+    }
+
+    /// Stops listening on `port`.
+    pub fn unlisten(&mut self, port: u16) {
+        self.listeners.remove(&port);
+    }
+
+    /// Opens a connection from `local_addr` to `remote`; `iss` is the
+    /// initial sequence number (host supplies randomness).
+    pub fn connect(
+        &mut self,
+        local_addr: IpAddr,
+        remote: (IpAddr, u16),
+        app: usize,
+        iss: u32,
+        now: SimTime,
+    ) -> SockId {
+        let local_port = self.alloc_port();
+        let id = self.alloc_sock();
+        let cfg = self.config;
+        let mut sock = TcpSocket::new(id, app, (local_addr, local_port), remote, cfg);
+        sock.state = TcpState::SynSent;
+        sock.snd_una = iss;
+        sock.snd_nxt = iss.wrapping_add(1);
+        self.conn_map.insert((local_addr, local_port, remote.0, remote.1), id);
+        let syn = sock.make_segment(iss, TcpFlags::SYN, Bytes::new());
+        sock.arm_rtx(now, &mut self.timer_reqs);
+        self.out.push(syn);
+        self.sockets[id.0] = Some(sock);
+        id
+    }
+
+    /// Queues `data` for transmission.
+    pub fn send(&mut self, sock: SockId, data: &[u8], now: SimTime) {
+        let Some(s) = self.sockets.get_mut(sock.0).and_then(Option::as_mut) else { return };
+        if !matches!(s.state, TcpState::Established | TcpState::CloseWait) {
+            return;
+        }
+        s.send_buf.extend(data.iter().copied());
+        s.try_output(&mut self.out, now, &mut self.timer_reqs);
+    }
+
+    /// Reads and drains all in-order received bytes.
+    pub fn recv(&mut self, sock: SockId) -> Vec<u8> {
+        match self.sockets.get_mut(sock.0).and_then(Option::as_mut) {
+            Some(s) => std::mem::take(&mut s.recv_buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// Bytes queued in the send buffer (unacked + unsent) — lets bulk
+    /// senders (iperf) keep the pipe full without unbounded buffering.
+    pub fn buffered(&self, sock: SockId) -> usize {
+        self.sockets
+            .get(sock.0)
+            .and_then(Option::as_ref)
+            .map_or(0, |s| s.send_buf.len())
+    }
+
+    /// Bytes available without draining.
+    pub fn recv_len(&self, sock: SockId) -> usize {
+        self.sockets
+            .get(sock.0)
+            .and_then(Option::as_ref)
+            .map_or(0, |s| s.recv_buf.len())
+    }
+
+    /// The remote endpoint of a socket.
+    pub fn peer_of(&self, sock: SockId) -> Option<(IpAddr, u16)> {
+        self.sockets.get(sock.0).and_then(Option::as_ref).map(|s| s.remote)
+    }
+
+    /// The local endpoint of a socket.
+    pub fn local_of(&self, sock: SockId) -> Option<(IpAddr, u16)> {
+        self.sockets.get(sock.0).and_then(Option::as_ref).map(|s| s.local)
+    }
+
+    /// Whether the socket still exists (not fully closed).
+    pub fn is_open(&self, sock: SockId) -> bool {
+        self.sockets.get(sock.0).and_then(Option::as_ref).is_some()
+    }
+
+    /// Closes the sending direction (sends FIN after queued data).
+    pub fn close(&mut self, sock: SockId, now: SimTime) {
+        let Some(s) = self.sockets.get_mut(sock.0).and_then(Option::as_mut) else { return };
+        match s.state {
+            TcpState::Established => {
+                s.fin_pending = true;
+                s.state = TcpState::FinWait1;
+            }
+            TcpState::CloseWait => {
+                s.fin_pending = true;
+                s.state = TcpState::LastAck;
+            }
+            TcpState::SynSent => {
+                // Abort before establishment.
+                let id = s.id;
+                self.release(id);
+                return;
+            }
+            _ => return,
+        }
+        s.try_output(&mut self.out, now, &mut self.timer_reqs);
+    }
+
+    /// Aborts with RST.
+    pub fn abort(&mut self, sock: SockId) {
+        let Some(s) = self.sockets.get_mut(sock.0).and_then(Option::as_mut) else { return };
+        let rst = s.make_segment(s.snd_nxt, TcpFlags::RST, Bytes::new());
+        self.out.push(rst);
+        let id = s.id;
+        let app = s.owner_app;
+        self.release(id);
+        self.events.push((app, TcpEvent::Closed(id)));
+    }
+
+    /// Handles an inbound segment addressed to this host.
+    pub fn segment_arrives(&mut self, src: IpAddr, dst: IpAddr, seg: TcpSegment, now: SimTime) {
+        let key = (dst, seg.dst_port, src, seg.src_port);
+        if let Some(&id) = self.conn_map.get(&key) {
+            self.on_segment(id, seg, now);
+            return;
+        }
+        // New connection?
+        if seg.flags.syn && !seg.flags.ack {
+            if let Some(&app) = self.listeners.get(&seg.dst_port) {
+                let id = self.alloc_sock();
+                let cfg = self.config;
+                let mut sock =
+                    TcpSocket::new(id, app, (dst, seg.dst_port), (src, seg.src_port), cfg);
+                sock.state = TcpState::SynReceived;
+                // Derive our ISS deterministically from the peer's (the
+                // host layer has the RNG; this keeps the API small).
+                let iss = seg.seq.wrapping_mul(2654435761).wrapping_add(0x9e3779b9);
+                sock.snd_una = iss;
+                sock.snd_nxt = iss.wrapping_add(1);
+                sock.rcv_nxt = seg.seq.wrapping_add(1);
+                sock.snd_wnd = seg.window;
+                let synack = sock.make_segment(iss, TcpFlags::SYN_ACK, Bytes::new());
+                sock.arm_rtx(now, &mut self.timer_reqs);
+                self.conn_map.insert(key, id);
+                self.out.push(synack);
+                self.sockets[id.0] = Some(sock);
+                return;
+            }
+        }
+        // No socket: RST anything that is not itself an RST.
+        if !seg.flags.rst {
+            let rst = Packet::new(
+                dst,
+                src,
+                Payload::Tcp(TcpSegment {
+                    src_port: seg.dst_port,
+                    dst_port: seg.src_port,
+                    seq: if seg.flags.ack { seg.ack } else { 0 },
+                    ack: seg.seq.wrapping_add(seg.data.len() as u32 + u32::from(seg.flags.syn)),
+                    flags: TcpFlags::RST,
+                    window: 0,
+                    data: Bytes::new(),
+                }),
+            );
+            self.out.push(rst);
+        }
+    }
+
+    /// A TCP timer fired; `token` is the socket index.
+    pub fn on_timer(&mut self, token: u64, now: SimTime) {
+        let idx = token as usize;
+        let Some(Some(s)) = self.sockets.get_mut(idx) else { return };
+        // TIME-WAIT expiry.
+        if let Some(tw) = s.time_wait_deadline {
+            if now >= tw {
+                let id = s.id;
+                let app = s.owner_app;
+                self.release(id);
+                self.events.push((app, TcpEvent::Closed(id)));
+                return;
+            }
+        }
+        let Some(deadline) = s.rtx_deadline else { return };
+        if now < deadline {
+            return; // stale timer; a fresher one is queued
+        }
+        // Retransmission timeout.
+        s.rtx_count += 1;
+        if s.state == TcpState::SynSent && s.rtx_count > s.cfg.syn_retries {
+            let id = s.id;
+            let app = s.owner_app;
+            self.events.push((app, TcpEvent::ConnectFailed(id)));
+            self.release(id);
+            return;
+        }
+        if s.rtx_count > 15 {
+            let id = s.id;
+            let app = s.owner_app;
+            self.events.push((app, TcpEvent::Reset(id)));
+            self.release(id);
+            return;
+        }
+        // Exponential backoff, collapse cwnd, retransmit one segment.
+        s.rto = SimDuration::from_nanos(s.rto.as_nanos().saturating_mul(2).min(60_000_000_000));
+        // Congestion state only exists once data flows: handshake
+        // timeouts must not collapse the initial window (RFC 5681 sets
+        // IW at establishment, not before).
+        if !matches!(s.state, TcpState::SynSent | TcpState::SynReceived) {
+            let flight = s.snd_nxt.wrapping_sub(s.snd_una) as u64;
+            s.ssthresh = (flight / 2).max(2 * s.cfg.mss as u64);
+            s.cwnd = s.cfg.mss as u64;
+        }
+        s.dup_acks = 0;
+        s.rtt_sample = None; // Karn's algorithm
+        s.retransmit_head(&mut self.out);
+        s.arm_rtx(now, &mut self.timer_reqs);
+    }
+
+    fn on_segment(&mut self, id: SockId, seg: TcpSegment, now: SimTime) {
+        let Some(s) = self.sockets.get_mut(id.0).and_then(Option::as_mut) else { return };
+        let app = s.owner_app;
+
+        if seg.flags.rst {
+            let ev = if s.state == TcpState::SynSent {
+                TcpEvent::ConnectFailed(id)
+            } else {
+                TcpEvent::Reset(id)
+            };
+            self.events.push((app, ev));
+            self.release(id);
+            return;
+        }
+
+        match s.state {
+            TcpState::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack == s.snd_nxt {
+                    s.rcv_nxt = seg.seq.wrapping_add(1);
+                    s.snd_una = seg.ack;
+                    s.snd_wnd = seg.window;
+                    s.state = TcpState::Established;
+                    s.rtx_deadline = None;
+                    s.rtx_count = 0;
+                    // RFC 6298 §5.7: the RTO backed off by SYN losses must
+                    // be re-initialized when data transmission begins.
+                    s.rto = s.cfg.rto_initial;
+                    let ack = s.make_segment(s.snd_nxt, TcpFlags::ACK, Bytes::new());
+                    self.out.push(ack);
+                    self.events.push((app, TcpEvent::Connected(id)));
+                }
+            }
+            TcpState::SynReceived => {
+                if seg.flags.ack && seg.ack == s.snd_nxt {
+                    s.state = TcpState::Established;
+                    s.snd_una = seg.ack;
+                    s.snd_wnd = seg.window;
+                    s.rtx_deadline = None;
+                    s.rtx_count = 0;
+                    s.rto = s.cfg.rto_initial;
+                    let port = s.local.1;
+                    self.events.push((app, TcpEvent::Accepted { listener_port: port, sock: id }));
+                    // The handshake-completing ACK may carry data.
+                    if !seg.data.is_empty() || seg.flags.fin {
+                        self.process_established(id, seg, now);
+                    }
+                }
+            }
+            _ => self.process_established(id, seg, now),
+        }
+    }
+
+    /// Data/ACK/FIN processing common to synchronized states.
+    fn process_established(&mut self, id: SockId, seg: TcpSegment, now: SimTime) {
+        let Some(s) = self.sockets.get_mut(id.0).and_then(Option::as_mut) else { return };
+        let app = s.owner_app;
+        let mut need_ack = false;
+        let mut had_new_data = false;
+
+        // --- ACK processing ---
+        if seg.flags.ack {
+            s.snd_wnd = seg.window;
+            let ack = seg.ack;
+            if seq_lt(s.snd_una, ack) && seq_le(ack, s.snd_nxt) {
+                let newly_acked = ack.wrapping_sub(s.snd_una) as usize;
+                // Account for FIN occupying one sequence number.
+                let fin_acked = s.fin_seq.is_some_and(|f| seq_lt(f, ack));
+                let data_acked = newly_acked - usize::from(fin_acked);
+                for _ in 0..data_acked.min(s.send_buf.len()) {
+                    s.send_buf.pop_front();
+                }
+                s.snd_una = ack;
+                s.dup_acks = 0;
+                // RTT sample (Karn: only for non-retransmitted data).
+                if let Some((sample_seq, sent_at)) = s.rtt_sample {
+                    if seq_le(sample_seq, ack) {
+                        s.update_rtt(now.since(sent_at));
+                        s.rtt_sample = None;
+                    }
+                }
+                // Congestion window growth.
+                if s.cfg.congestion_control {
+                    if s.cwnd < s.ssthresh {
+                        s.cwnd += (data_acked as u64).min(s.cfg.mss as u64);
+                    } else {
+                        let inc = (s.cfg.mss as u64 * s.cfg.mss as u64 / s.cwnd.max(1)).max(1);
+                        s.cwnd += inc;
+                    }
+                }
+                if s.snd_una == s.snd_nxt {
+                    s.rtx_deadline = None;
+                    s.rtx_count = 0;
+                } else {
+                    s.arm_rtx(now, &mut self.timer_reqs);
+                }
+                // State advances on FIN ack.
+                if fin_acked {
+                    match s.state {
+                        TcpState::FinWait1 => s.state = TcpState::FinWait2,
+                        TcpState::Closing => s.enter_time_wait(now, &mut self.timer_reqs),
+                        TcpState::LastAck => {
+                            self.events.push((app, TcpEvent::Closed(id)));
+                            self.release(id);
+                            return;
+                        }
+                        _ => {}
+                    }
+                }
+            } else if ack == s.snd_una && s.snd_una != s.snd_nxt && seg.data.is_empty() {
+                // Duplicate ACK.
+                s.dup_acks += 1;
+                if s.dup_acks == 3 && s.cfg.congestion_control {
+                    let flight = s.snd_nxt.wrapping_sub(s.snd_una) as u64;
+                    s.ssthresh = (flight / 2).max(2 * s.cfg.mss as u64);
+                    s.cwnd = s.ssthresh;
+                    s.rtt_sample = None;
+                    s.retransmit_head(&mut self.out);
+                    s.arm_rtx(now, &mut self.timer_reqs);
+                }
+            }
+        }
+
+        // --- data ---
+        if !seg.data.is_empty() {
+            need_ack = true;
+            if seg.seq == s.rcv_nxt {
+                // In-window check against our advertised window is skipped:
+                // the sender honours it, and the sim has no renege path.
+                s.recv_buf.extend_from_slice(&seg.data);
+                s.rcv_nxt = s.rcv_nxt.wrapping_add(seg.data.len() as u32);
+                had_new_data = true;
+                // Drain contiguous out-of-order segments.
+                while let Some((&q_seq, _)) = s.ooo.first_key_value() {
+                    if q_seq != s.rcv_nxt {
+                        if seq_lt(q_seq, s.rcv_nxt) {
+                            // Stale/overlapping: drop it.
+                            s.ooo.pop_first();
+                            continue;
+                        }
+                        break;
+                    }
+                    let (_, data) = s.ooo.pop_first().expect("peeked");
+                    s.rcv_nxt = s.rcv_nxt.wrapping_add(data.len() as u32);
+                    s.recv_buf.extend_from_slice(&data);
+                }
+            } else if seq_lt(s.rcv_nxt, seg.seq) {
+                s.ooo.insert(seg.seq, seg.data.clone());
+            }
+            // else: old retransmission — just re-ACK.
+        }
+
+        // --- FIN ---
+        if seg.flags.fin {
+            let fin_seq = seg.seq.wrapping_add(seg.data.len() as u32);
+            s.peer_fin_seq = Some(fin_seq);
+        }
+        if let Some(fin_seq) = s.peer_fin_seq {
+            if s.rcv_nxt == fin_seq {
+                s.rcv_nxt = s.rcv_nxt.wrapping_add(1);
+                s.peer_fin_seq = None;
+                need_ack = true;
+                self.events.push((app, TcpEvent::PeerClosed(id)));
+                match s.state {
+                    TcpState::Established => s.state = TcpState::CloseWait,
+                    TcpState::FinWait1 => s.state = TcpState::Closing,
+                    TcpState::FinWait2 => s.enter_time_wait(now, &mut self.timer_reqs),
+                    _ => {}
+                }
+            }
+        }
+
+        // Try to transmit anything newly permitted (window opened, etc.).
+        s.try_output(&mut self.out, now, &mut self.timer_reqs);
+        if need_ack {
+            let ack = s.make_segment(s.snd_nxt_wire(), TcpFlags::ACK, Bytes::new());
+            self.out.push(ack);
+        }
+        if had_new_data {
+            self.events.push((app, TcpEvent::Data(id)));
+        }
+    }
+
+    fn alloc_sock(&mut self) -> SockId {
+        for (i, slot) in self.sockets.iter().enumerate() {
+            if slot.is_none() {
+                return SockId(i);
+            }
+        }
+        self.sockets.push(None);
+        SockId(self.sockets.len() - 1)
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        let p = self.next_ephemeral;
+        self.next_ephemeral = if self.next_ephemeral == u16::MAX { 49152 } else { self.next_ephemeral + 1 };
+        p
+    }
+
+    fn release(&mut self, id: SockId) {
+        if let Some(Some(s)) = self.sockets.get(id.0) {
+            let key = (s.local.0, s.local.1, s.remote.0, s.remote.1);
+            self.conn_map.remove(&key);
+        }
+        if let Some(slot) = self.sockets.get_mut(id.0) {
+            *slot = None;
+        }
+    }
+
+    /// Number of live sockets (for tests/diagnostics).
+    pub fn open_sockets(&self) -> usize {
+        self.sockets.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+impl TcpSocket {
+    fn new(
+        id: SockId,
+        owner_app: usize,
+        local: (IpAddr, u16),
+        remote: (IpAddr, u16),
+        cfg: TcpConfig,
+    ) -> Self {
+        TcpSocket {
+            id,
+            owner_app,
+            local,
+            remote,
+            state: TcpState::Closed,
+            cfg,
+            snd_una: 0,
+            snd_nxt: 0,
+            send_buf: VecDeque::new(),
+            snd_wnd: cfg.recv_window,
+            cwnd: cfg.init_cwnd_segments as u64 * cfg.mss as u64,
+            ssthresh: u64::MAX / 2,
+            dup_acks: 0,
+            fin_pending: false,
+            fin_seq: None,
+            srtt: None,
+            rttvar: 0.0,
+            rto: cfg.rto_initial,
+            rtt_sample: None,
+            rtx_deadline: None,
+            rtx_count: 0,
+            rcv_nxt: 0,
+            recv_buf: Vec::new(),
+            ooo: BTreeMap::new(),
+            peer_fin_seq: None,
+            time_wait_deadline: None,
+        }
+    }
+
+    fn make_segment(&self, seq: u32, flags: TcpFlags, data: Bytes) -> Packet {
+        Packet::new(
+            self.local.0,
+            self.remote.0,
+            Payload::Tcp(TcpSegment {
+                src_port: self.local.1,
+                dst_port: self.remote.1,
+                seq,
+                ack: self.rcv_nxt,
+                flags,
+                window: self.cfg.recv_window,
+                data,
+            }),
+        )
+    }
+
+    /// The sequence number an empty ACK should carry (past FIN if sent).
+    fn snd_nxt_wire(&self) -> u32 {
+        self.snd_nxt
+    }
+
+    /// Sends as much buffered data as windows allow; sends FIN when the
+    /// buffer drains and a close is pending.
+    fn try_output(
+        &mut self,
+        out: &mut Vec<Packet>,
+        now: SimTime,
+        timer_reqs: &mut Vec<(SimDuration, u64)>,
+    ) {
+        if !matches!(
+            self.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::LastAck | TcpState::Closing
+        ) {
+            return;
+        }
+        let mut sent_any = false;
+        loop {
+            let flight = self.snd_nxt.wrapping_sub(self.snd_una) as u64;
+            let wnd = if self.cfg.congestion_control {
+                self.cwnd.min(self.snd_wnd as u64)
+            } else {
+                self.snd_wnd as u64
+            };
+            let available = wnd.saturating_sub(flight) as usize;
+            let unsent_off = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
+            // When a FIN is in flight the buffer offset excludes it.
+            let unsent_off = unsent_off.min(self.send_buf.len());
+            let unsent = self.send_buf.len() - unsent_off;
+            if unsent > 0 && available > 0 && self.fin_seq.is_none() {
+                let take = unsent.min(available).min(self.cfg.mss);
+                let chunk: Vec<u8> =
+                    self.send_buf.iter().skip(unsent_off).take(take).copied().collect();
+                let seq = self.snd_nxt;
+                let mut flags = TcpFlags::ACK;
+                // Piggyback FIN on the last segment if closing and this
+                // drains the buffer.
+                let drains = unsent_off + take == self.send_buf.len();
+                if self.fin_pending && drains && take == unsent {
+                    flags.fin = true;
+                }
+                let pkt = self.make_segment(seq, flags, Bytes::from(chunk));
+                self.snd_nxt = self.snd_nxt.wrapping_add(take as u32);
+                if flags.fin {
+                    self.fin_seq = Some(self.snd_nxt);
+                    self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                    self.fin_pending = false;
+                }
+                if self.rtt_sample.is_none() {
+                    self.rtt_sample = Some((self.snd_nxt, now));
+                }
+                out.push(pkt);
+                sent_any = true;
+                continue;
+            }
+            // Bare FIN (no data pending).
+            if self.fin_pending && unsent == 0 && self.fin_seq.is_none() {
+                let seq = self.snd_nxt;
+                let pkt = self.make_segment(seq, TcpFlags::FIN_ACK, Bytes::new());
+                self.fin_seq = Some(seq);
+                self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                self.fin_pending = false;
+                out.push(pkt);
+                sent_any = true;
+            }
+            break;
+        }
+        if sent_any {
+            self.arm_rtx(now, timer_reqs);
+        }
+    }
+
+    /// Retransmits the first unacknowledged segment.
+    fn retransmit_head(&mut self, out: &mut Vec<Packet>) {
+        let flight_data = self.send_buf.len();
+        if flight_data > 0 {
+            let take = flight_data.min(self.cfg.mss);
+            let chunk: Vec<u8> = self.send_buf.iter().take(take).copied().collect();
+            let mut flags = TcpFlags::ACK;
+            if self.fin_seq.is_some() && take == flight_data {
+                // FIN rides again on the tail retransmission.
+                flags.fin = self.snd_nxt.wrapping_sub(self.snd_una) as usize == flight_data + 1;
+            }
+            let pkt = self.make_segment(self.snd_una, flags, Bytes::from(chunk));
+            out.push(pkt);
+        } else if self.fin_seq.is_some() {
+            let pkt = self.make_segment(self.snd_una, TcpFlags::FIN_ACK, Bytes::new());
+            out.push(pkt);
+        } else if self.state == TcpState::SynSent {
+            let pkt = self.make_segment(self.snd_una, TcpFlags::SYN, Bytes::new());
+            out.push(pkt);
+        } else if self.state == TcpState::SynReceived {
+            let pkt = self.make_segment(self.snd_una, TcpFlags::SYN_ACK, Bytes::new());
+            out.push(pkt);
+        }
+    }
+
+    fn arm_rtx(&mut self, now: SimTime, timer_reqs: &mut Vec<(SimDuration, u64)>) {
+        let deadline = now + self.rto;
+        self.rtx_deadline = Some(deadline);
+        timer_reqs.push((self.rto, self.id.0 as u64));
+    }
+
+    fn enter_time_wait(&mut self, now: SimTime, timer_reqs: &mut Vec<(SimDuration, u64)>) {
+        self.state = TcpState::TimeWait;
+        let linger = SimDuration::from_millis(500); // 2*MSL shortened for sims
+        self.time_wait_deadline = Some(now + linger);
+        self.rtx_deadline = None;
+        timer_reqs.push((linger, self.id.0 as u64));
+    }
+
+    /// RFC 6298 SRTT/RTTVAR update.
+    fn update_rtt(&mut self, sample: SimDuration) {
+        let r = sample.as_nanos() as f64;
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - r).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * r);
+            }
+        }
+        let rto_ns = (self.srtt.unwrap() + 4.0 * self.rttvar) as u64;
+        self.rto = SimDuration::from_nanos(rto_ns).max(self.cfg.rto_min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::v4;
+
+    fn addr_a() -> IpAddr {
+        v4(10, 0, 0, 1)
+    }
+    fn addr_b() -> IpAddr {
+        v4(10, 0, 0, 2)
+    }
+
+    /// Shuttles packets between two TCP layers with zero latency,
+    /// returning the number of packets moved.
+    fn pump(a: &mut TcpLayer, b: &mut TcpLayer, now: SimTime) -> usize {
+        let mut moved = 0;
+        loop {
+            let from_a = std::mem::take(&mut a.out);
+            let from_b = std::mem::take(&mut b.out);
+            if from_a.is_empty() && from_b.is_empty() {
+                break;
+            }
+            moved += from_a.len() + from_b.len();
+            for p in from_a {
+                if let Payload::Tcp(seg) = p.payload {
+                    b.segment_arrives(p.src, p.dst, seg, now);
+                }
+            }
+            for p in from_b {
+                if let Payload::Tcp(seg) = p.payload {
+                    a.segment_arrives(p.src, p.dst, seg, now);
+                }
+            }
+        }
+        moved
+    }
+
+    fn connected_pair() -> (TcpLayer, TcpLayer, SockId, SockId) {
+        let mut a = TcpLayer::new(TcpConfig::default());
+        let mut b = TcpLayer::new(TcpConfig::default());
+        b.listen(80, 0);
+        let ca = a.connect(addr_a(), (addr_b(), 80), 0, 1000, SimTime::ZERO);
+        pump(&mut a, &mut b, SimTime::ZERO);
+        let sb = b
+            .events
+            .iter()
+            .find_map(|(_, e)| match e {
+                TcpEvent::Accepted { sock, .. } => Some(*sock),
+                _ => None,
+            })
+            .expect("accepted");
+        assert!(a.events.iter().any(|(_, e)| *e == TcpEvent::Connected(ca)));
+        a.events.clear();
+        b.events.clear();
+        (a, b, ca, sb)
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let (_a, b, _ca, sb) = connected_pair();
+        assert!(b.is_open(sb));
+    }
+
+    #[test]
+    fn data_transfer_small() {
+        let (mut a, mut b, ca, sb) = connected_pair();
+        a.send(ca, b"hello tcp", SimTime(1));
+        pump(&mut a, &mut b, SimTime(1));
+        assert_eq!(b.recv(sb), b"hello tcp");
+        assert!(b.events.iter().any(|(_, e)| *e == TcpEvent::Data(sb)));
+    }
+
+    #[test]
+    fn data_transfer_large_multi_segment() {
+        let (mut a, mut b, ca, sb) = connected_pair();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        a.send(ca, &data, SimTime(1));
+        // Repeated pumping simulates many RTTs for window growth.
+        for t in 2..200 {
+            pump(&mut a, &mut b, SimTime(t));
+        }
+        let got = b.recv(sb);
+        assert_eq!(got.len(), data.len());
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn bidirectional_transfer() {
+        let (mut a, mut b, ca, sb) = connected_pair();
+        a.send(ca, b"ping", SimTime(1));
+        b.send(sb, b"pong", SimTime(1));
+        pump(&mut a, &mut b, SimTime(1));
+        assert_eq!(b.recv(sb), b"ping");
+        assert_eq!(a.recv(ca), b"pong");
+    }
+
+    #[test]
+    fn connect_to_closed_port_fails() {
+        let mut a = TcpLayer::new(TcpConfig::default());
+        let mut b = TcpLayer::new(TcpConfig::default());
+        let ca = a.connect(addr_a(), (addr_b(), 81), 0, 5, SimTime::ZERO);
+        pump(&mut a, &mut b, SimTime::ZERO);
+        assert!(a.events.iter().any(|(_, e)| *e == TcpEvent::ConnectFailed(ca)));
+        assert!(!a.is_open(ca));
+    }
+
+    #[test]
+    fn graceful_close_both_sides() {
+        let (mut a, mut b, ca, sb) = connected_pair();
+        a.send(ca, b"bye", SimTime(1));
+        a.close(ca, SimTime(1));
+        pump(&mut a, &mut b, SimTime(1));
+        assert_eq!(b.recv(sb), b"bye");
+        assert!(b.events.iter().any(|(_, e)| *e == TcpEvent::PeerClosed(sb)));
+        b.close(sb, SimTime(2));
+        pump(&mut a, &mut b, SimTime(2));
+        assert!(a.events.iter().any(|(_, e)| *e == TcpEvent::PeerClosed(ca)));
+        // b's socket fully closes once its FIN is acked.
+        assert!(b.events.iter().any(|(_, e)| *e == TcpEvent::Closed(sb)));
+        assert!(!b.is_open(sb));
+    }
+
+    #[test]
+    fn retransmission_recovers_lost_segment() {
+        let (mut a, mut b, ca, sb) = connected_pair();
+        a.send(ca, b"lost in the mail", SimTime(1));
+        // Drop the data packet.
+        let dropped = std::mem::take(&mut a.out);
+        assert!(!dropped.is_empty());
+        // Fire the retransmission timer.
+        let (delay, token) = *a.timer_reqs.last().expect("rtx armed");
+        let fire_at = SimTime(1) + delay;
+        a.on_timer(token, fire_at);
+        assert!(!a.out.is_empty(), "retransmission emitted");
+        pump(&mut a, &mut b, fire_at);
+        assert_eq!(b.recv(sb), b"lost in the mail");
+    }
+
+    #[test]
+    fn syn_retry_exhaustion_reports_failure() {
+        let mut a = TcpLayer::new(TcpConfig { syn_retries: 2, ..TcpConfig::default() });
+        let ca = a.connect(addr_a(), (addr_b(), 80), 0, 1, SimTime::ZERO);
+        a.out.clear();
+        let mut now = SimTime::ZERO;
+        for _ in 0..4 {
+            if let Some((delay, token)) = a.timer_reqs.pop() {
+                now += delay;
+                a.on_timer(token, now);
+            }
+        }
+        assert!(a.events.iter().any(|(_, e)| *e == TcpEvent::ConnectFailed(ca)));
+    }
+
+    #[test]
+    fn out_of_order_segments_reassembled() {
+        let (mut a, mut b, ca, sb) = connected_pair();
+        a.send(ca, &vec![7u8; 4000], SimTime(1)); // 3 segments at mss 1448
+        let mut pkts = std::mem::take(&mut a.out);
+        assert!(pkts.len() >= 2);
+        pkts.reverse(); // deliver out of order
+        for p in pkts {
+            if let Payload::Tcp(seg) = p.payload {
+                b.segment_arrives(p.src, p.dst, seg, SimTime(1));
+            }
+        }
+        pump(&mut a, &mut b, SimTime(2));
+        assert_eq!(b.recv(sb).len(), 4000);
+    }
+
+    #[test]
+    fn fast_retransmit_on_triple_dupack() {
+        let cfg = TcpConfig::default();
+        let (mut a, mut b, ca, sb) = connected_pair();
+        let data: Vec<u8> = vec![1u8; cfg.mss * 5];
+        a.send(ca, &data, SimTime(1));
+        let mut pkts = std::mem::take(&mut a.out);
+        assert!(pkts.len() >= 4, "got {}", pkts.len());
+        // Drop the first data segment; deliver the rest → dupacks.
+        pkts.remove(0);
+        for p in pkts {
+            if let Payload::Tcp(seg) = p.payload {
+                b.segment_arrives(p.src, p.dst, seg, SimTime(1));
+            }
+        }
+        // Feed the dupacks back to a.
+        let acks = std::mem::take(&mut b.out);
+        assert!(acks.len() >= 3);
+        for p in acks {
+            if let Payload::Tcp(seg) = p.payload {
+                a.segment_arrives(p.src, p.dst, seg, SimTime(2));
+            }
+        }
+        // a should have fast-retransmitted the head segment.
+        assert!(
+            !a.out.is_empty(),
+            "fast retransmit after 3 dupacks should emit the missing segment"
+        );
+        pump(&mut a, &mut b, SimTime(3));
+        assert_eq!(b.recv(sb).len(), data.len());
+    }
+
+    #[test]
+    fn window_limits_inflight_bytes() {
+        let cfg = TcpConfig { recv_window: 4096, ..TcpConfig::default() };
+        let mut a = TcpLayer::new(cfg);
+        let mut b = TcpLayer::new(cfg);
+        b.listen(80, 0);
+        let ca = a.connect(addr_a(), (addr_b(), 80), 0, 1, SimTime::ZERO);
+        pump(&mut a, &mut b, SimTime::ZERO);
+        a.events.clear();
+        a.send(ca, &vec![0u8; 100_000], SimTime(1));
+        let sent: usize = a
+            .out
+            .iter()
+            .map(|p| match &p.payload {
+                Payload::Tcp(s) => s.data.len(),
+                _ => 0,
+            })
+            .sum();
+        assert!(sent <= 4096, "inflight {sent} exceeds peer window");
+    }
+
+    #[test]
+    fn rst_on_established_reports_reset() {
+        let (mut a, mut b, ca, sb) = connected_pair();
+        b.abort(sb);
+        pump(&mut a, &mut b, SimTime(1));
+        assert!(a.events.iter().any(|(_, e)| *e == TcpEvent::Reset(ca)));
+        assert!(!a.is_open(ca));
+    }
+
+    #[test]
+    fn rtt_estimation_updates_rto() {
+        let mut s = TcpSocket::new(
+            SockId(0),
+            0,
+            (addr_a(), 1),
+            (addr_b(), 2),
+            TcpConfig::default(),
+        );
+        s.update_rtt(SimDuration::from_millis(100));
+        // First sample: RTO = srtt + 4*rttvar = 100 + 200 = 300ms.
+        assert_eq!(s.rto, SimDuration::from_millis(300));
+        s.update_rtt(SimDuration::from_millis(100));
+        assert!(s.rto >= TcpConfig::default().rto_min);
+        assert!(s.rto < SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn seq_comparisons_wrap() {
+        assert!(seq_lt(u32::MAX - 1, 5));
+        assert!(!seq_lt(5, u32::MAX - 1));
+        assert!(seq_le(7, 7));
+    }
+}

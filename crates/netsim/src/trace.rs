@@ -1,0 +1,117 @@
+//! Lightweight event tracing.
+//!
+//! Tests and experiment harnesses can enable tracing to see every packet
+//! hop, drop and timer; production sweeps leave it disabled (the trace is
+//! a no-op unless `enabled` is set, so the hot path pays one branch).
+
+use crate::link::NodeId;
+use crate::time::SimTime;
+
+/// One traced occurrence.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which node reported it.
+    pub node: NodeId,
+    /// What kind of occurrence.
+    pub kind: TraceKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Packet handed to a link.
+    Tx,
+    /// Packet delivered to a node.
+    Rx,
+    /// Packet dropped (loss, queue overflow, no route, TTL, policy).
+    Drop,
+    /// A protocol state change worth seeing (BEX transitions, TCP states).
+    State,
+}
+
+/// A bounded in-memory trace buffer.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    entries: Vec<TraceEntry>,
+    /// Cap so pathological runs cannot exhaust memory.
+    cap: usize,
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace { enabled: false, entries: Vec::new(), cap: 0 }
+    }
+
+    /// An enabled trace retaining up to `cap` entries.
+    pub fn enabled(cap: usize) -> Self {
+        Trace { enabled: true, entries: Vec::new(), cap }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an entry if enabled and below the cap. `detail` is built
+    /// lazily so disabled traces never allocate.
+    pub fn record(&mut self, at: SimTime, node: NodeId, kind: TraceKind, detail: impl FnOnce() -> String) {
+        if self.enabled && self.entries.len() < self.cap {
+            self.entries.push(TraceEntry { at, node, kind, detail: detail() });
+        }
+    }
+
+    /// All recorded entries.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries of one kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Renders the trace as text, one entry per line.
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        for e in &self.entries {
+            s.push_str(&format!(
+                "{:>12.6} node{:<3} {:?} {}\n",
+                e.at.as_secs_f64(),
+                e.node.0,
+                e.kind,
+                e.detail
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, NodeId(0), TraceKind::Tx, || "x".into());
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn enabled_records_up_to_cap() {
+        let mut t = Trace::enabled(2);
+        for i in 0..5 {
+            t.record(SimTime(i), NodeId(0), TraceKind::Rx, || format!("p{i}"));
+        }
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.of_kind(TraceKind::Rx).count(), 2);
+        assert_eq!(t.of_kind(TraceKind::Drop).count(), 0);
+        assert!(t.dump().contains("p0"));
+    }
+}

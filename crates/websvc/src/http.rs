@@ -1,0 +1,223 @@
+//! A small HTTP/1.0-style codec over byte streams.
+//!
+//! Requests: `GET <path> HTTP/1.0\r\n<headers>\r\n\r\n` (no bodies — the
+//! workload is HTTP GET, as in the paper's jmeter/httperf runs).
+//! Responses: status line + `Content-Length` framing + body.
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (the workload only uses GET).
+    pub method: String,
+    /// Request path incl. query string.
+    pub path: String,
+    /// Header name/value pairs in order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl HttpRequest {
+    /// A GET request for `path`.
+    pub fn get(path: &str) -> Self {
+        HttpRequest { method: "GET".into(), path: path.into(), headers: Vec::new() }
+    }
+
+    /// Serializes onto the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = format!("{} {} HTTP/1.0\r\n", self.method, self.path).into_bytes();
+        for (k, v) in &self.headers {
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out
+    }
+
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed HTTP response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header name/value pairs (Content-Length is added on encode).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A 200 response with a body.
+    pub fn ok(body: Vec<u8>) -> Self {
+        HttpResponse { status: 200, headers: Vec::new(), body }
+    }
+
+    /// An error response.
+    pub fn error(status: u16, message: &str) -> Self {
+        HttpResponse { status, headers: Vec::new(), body: message.as_bytes().to_vec() }
+    }
+
+    /// Serializes onto the wire (adds Content-Length).
+    pub fn encode(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            _ => "Status",
+        };
+        let mut out = format!("HTTP/1.0 {} {}\r\n", self.status, reason).into_bytes();
+        for (k, v) in &self.headers {
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Incremental parser for a stream of requests (server side).
+#[derive(Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// Feeds raw bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Extracts the next complete request, if any.
+    pub fn next_request(&mut self) -> Option<HttpRequest> {
+        let end = find_subsequence(&self.buf, b"\r\n\r\n")?;
+        let head = String::from_utf8_lossy(&self.buf[..end]).into_owned();
+        self.buf.drain(..end + 4);
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next()?;
+        let mut parts = request_line.split(' ');
+        let method = parts.next()?.to_owned();
+        let path = parts.next()?.to_owned();
+        let headers = lines
+            .filter_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                Some((k.trim().to_owned(), v.trim().to_owned()))
+            })
+            .collect();
+        Some(HttpRequest { method, path, headers })
+    }
+}
+
+/// Incremental parser for a stream of responses (client side).
+#[derive(Default)]
+pub struct ResponseParser {
+    buf: Vec<u8>,
+}
+
+impl ResponseParser {
+    /// Feeds raw bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Extracts the next complete response, if any.
+    pub fn next_response(&mut self) -> Option<HttpResponse> {
+        let head_end = find_subsequence(&self.buf, b"\r\n\r\n")?;
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next()?;
+        let status: u16 = status_line.split(' ').nth(1)?.parse().ok()?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                Some((k.trim().to_owned(), v.trim().to_owned()))
+            })
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        let total = head_end + 4 + content_length;
+        if self.buf.len() < total {
+            return None;
+        }
+        let body = self.buf[head_end + 4..total].to_vec();
+        self.buf.drain(..total);
+        Some(HttpResponse { status, headers, body })
+    }
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let mut req = HttpRequest::get("/item?id=7");
+        req.headers.push(("Host".into(), "rubis.cloud".into()));
+        let wire = req.encode();
+        let mut p = RequestParser::default();
+        p.push(&wire);
+        let parsed = p.next_request().unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.header("host"), Some("rubis.cloud"));
+        assert!(p.next_request().is_none());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = HttpResponse::ok(b"<html>item</html>".to_vec());
+        let wire = resp.encode();
+        let mut p = ResponseParser::default();
+        p.push(&wire);
+        let parsed = p.next_response().unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.body, b"<html>item</html>");
+    }
+
+    #[test]
+    fn fragmented_parsing() {
+        let resp = HttpResponse::ok(vec![b'x'; 1000]);
+        let wire = resp.encode();
+        let mut p = ResponseParser::default();
+        let mut got = None;
+        for chunk in wire.chunks(7) {
+            p.push(chunk);
+            if let Some(r) = p.next_response() {
+                got = Some(r);
+            }
+        }
+        assert_eq!(got.unwrap().body.len(), 1000);
+    }
+
+    #[test]
+    fn pipelined_requests() {
+        let mut p = RequestParser::default();
+        let mut wire = HttpRequest::get("/a").encode();
+        wire.extend(HttpRequest::get("/b").encode());
+        p.push(&wire);
+        assert_eq!(p.next_request().unwrap().path, "/a");
+        assert_eq!(p.next_request().unwrap().path, "/b");
+        assert!(p.next_request().is_none());
+    }
+
+    #[test]
+    fn pipelined_responses() {
+        let mut p = ResponseParser::default();
+        let mut wire = HttpResponse::ok(b"one".to_vec()).encode();
+        wire.extend(HttpResponse::error(404, "nope").encode());
+        p.push(&wire);
+        assert_eq!(p.next_response().unwrap().body, b"one");
+        assert_eq!(p.next_response().unwrap().status, 404);
+    }
+}

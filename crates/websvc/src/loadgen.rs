@@ -1,0 +1,574 @@
+//! Load generators: the measurement tooling of §V-A.
+//!
+//! - [`JmeterApp`] — closed-loop concurrent HTTP clients (jmeter 2.3.4's
+//!   role): N virtual users, each issuing a random RUBiS GET, waiting
+//!   for the response, and immediately issuing the next.
+//! - [`HttperfApp`] — open-loop fixed-rate generator (httperf 0.9.0's
+//!   role): a new connection + request at a constant rate, response
+//!   times recorded regardless of completion order.
+//! - [`IperfServerApp`]/[`IperfClientApp`] — bulk-TCP throughput
+//!   measurement (iperf 2.0.5's role), keeping the pipe full and
+//!   counting received bytes.
+//! - [`PingApp`] — ICMP RTT measurement, N echo requests at an interval.
+
+use crate::http::{HttpRequest, ResponseParser};
+use crate::rubis::WorkloadMix;
+use netsim::host::{App, AppEvent, HostApi};
+use netsim::tcp::TcpEvent;
+use netsim::{SimDuration, SimTime, SockId};
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Latency accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    samples: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// Records a sample in milliseconds.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_millis_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean (ms).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sample standard deviation (ms).
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.samples.iter().map(|s| (s - m).powi(2)).sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Percentile (0..=100) of the samples.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+}
+
+// ---------------------------------------------------------------------
+// jmeter: closed-loop concurrent clients
+// ---------------------------------------------------------------------
+
+struct JmeterSession {
+    sock: Option<SockId>,
+    parser: ResponseParser,
+    sent_at: SimTime,
+    outstanding: bool,
+}
+
+/// Closed-loop generator: `sessions` concurrent virtual users.
+pub struct JmeterApp {
+    target: (IpAddr, u16),
+    sessions: Vec<JmeterSession>,
+    by_sock: HashMap<SockId, usize>,
+    mix: WorkloadMix,
+    users: u32,
+    items: u32,
+    /// Measurement window start: completions before this are warm-up.
+    pub measure_from: SimTime,
+    /// Completed requests within the measurement window.
+    pub completed: u64,
+    /// Per-request latencies.
+    pub latency: LatencyStats,
+    /// Failed connections/requests.
+    pub errors: u64,
+}
+
+impl JmeterApp {
+    /// Creates a generator with `sessions` concurrent users against
+    /// `target`, drawing from `mix` over a dataset of `users`×`items`.
+    pub fn new(target: (IpAddr, u16), sessions: usize, mix: WorkloadMix, users: u32, items: u32) -> Self {
+        JmeterApp {
+            target,
+            sessions: (0..sessions)
+                .map(|_| JmeterSession {
+                    sock: None,
+                    parser: ResponseParser::default(),
+                    sent_at: SimTime::ZERO,
+                    outstanding: false,
+                })
+                .collect(),
+            by_sock: HashMap::new(),
+            mix,
+            users,
+            items,
+            measure_from: SimTime::ZERO,
+            completed: 0,
+            latency: LatencyStats::default(),
+            errors: 0,
+        }
+    }
+
+    fn fire_request(&mut self, idx: usize, api: &mut HostApi) {
+        let draw = api.random_f64();
+        let rng_val = api.random_u64();
+        // Reads only when the deployment disables writes via the mix.
+        let q = self.mix.sample(self.users, self.items, draw, rng_val);
+        let req = HttpRequest::get(&q.to_path()).encode();
+        let s = &mut self.sessions[idx];
+        if let Some(sock) = s.sock {
+            s.sent_at = api.now();
+            s.outstanding = true;
+            api.tcp_send(sock, &req);
+        }
+    }
+}
+
+impl App for JmeterApp {
+    fn start(&mut self, api: &mut HostApi) {
+        for idx in 0..self.sessions.len() {
+            if let Some(sock) = api.tcp_connect(self.target.0, self.target.1) {
+                self.sessions[idx].sock = Some(sock);
+                self.by_sock.insert(sock, idx);
+            } else {
+                self.errors += 1;
+            }
+        }
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut HostApi) {
+        match ev {
+            AppEvent::Tcp(TcpEvent::Connected(sock)) => {
+                if let Some(&idx) = self.by_sock.get(&sock) {
+                    self.fire_request(idx, api);
+                }
+            }
+            AppEvent::Tcp(TcpEvent::Data(sock)) => {
+                let Some(&idx) = self.by_sock.get(&sock) else { return };
+                let raw = api.tcp_recv(sock);
+                let mut complete = false;
+                {
+                    let s = &mut self.sessions[idx];
+                    s.parser.push(&raw);
+                    while let Some(_resp) = s.parser.next_response() {
+                        complete = true;
+                    }
+                }
+                if complete && self.sessions[idx].outstanding {
+                    let sent_at = self.sessions[idx].sent_at;
+                    self.sessions[idx].outstanding = false;
+                    if api.now() >= self.measure_from {
+                        self.completed += 1;
+                        self.latency.record(api.now().since(sent_at));
+                    }
+                    // Closed loop, zero think time: next request now.
+                    self.fire_request(idx, api);
+                }
+            }
+            AppEvent::Tcp(TcpEvent::ConnectFailed(sock)) | AppEvent::Tcp(TcpEvent::Reset(sock)) => {
+                self.errors += 1;
+                self.by_sock.remove(&sock);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// httperf: open-loop fixed-rate generator
+// ---------------------------------------------------------------------
+
+struct HttperfConn {
+    parser: ResponseParser,
+    sent_at: SimTime,
+    requested: bool,
+}
+
+/// Open-loop generator: one new connection + request every `1/rate`.
+pub struct HttperfApp {
+    target: (IpAddr, u16),
+    /// Requests per second.
+    rate: f64,
+    mix: WorkloadMix,
+    users: u32,
+    items: u32,
+    conns: HashMap<SockId, HttperfConn>,
+    /// Stop issuing after this many requests (0 = unlimited).
+    pub max_requests: u64,
+    issued: u64,
+    /// Measurement window start.
+    pub measure_from: SimTime,
+    /// Completed responses.
+    pub completed: u64,
+    /// Response times (request sent → response complete).
+    pub latency: LatencyStats,
+    /// Connection failures.
+    pub errors: u64,
+}
+
+const TIMER_TICK: u64 = 1;
+
+impl HttperfApp {
+    /// Creates a generator issuing `rate` req/s against `target`.
+    pub fn new(target: (IpAddr, u16), rate: f64, mix: WorkloadMix, users: u32, items: u32) -> Self {
+        assert!(rate > 0.0);
+        HttperfApp {
+            target,
+            rate,
+            mix,
+            users,
+            items,
+            conns: HashMap::new(),
+            max_requests: 0,
+            issued: 0,
+            measure_from: SimTime::ZERO,
+            completed: 0,
+            latency: LatencyStats::default(),
+            errors: 0,
+        }
+    }
+
+    fn interval(&self) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / self.rate)
+    }
+}
+
+impl App for HttperfApp {
+    fn start(&mut self, api: &mut HostApi) {
+        api.set_timer(self.interval(), TIMER_TICK);
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut HostApi) {
+        match ev {
+            AppEvent::Timer { token: TIMER_TICK }
+                if (self.max_requests == 0 || self.issued < self.max_requests) => {
+                    self.issued += 1;
+                    match api.tcp_connect(self.target.0, self.target.1) {
+                        Some(sock) => {
+                            self.conns.insert(
+                                sock,
+                                HttperfConn {
+                                    parser: ResponseParser::default(),
+                                    sent_at: SimTime::ZERO,
+                                    requested: false,
+                                },
+                            );
+                        }
+                        None => self.errors += 1,
+                    }
+                    api.set_timer(self.interval(), TIMER_TICK);
+                }
+            AppEvent::Tcp(TcpEvent::Connected(sock)) => {
+                let draw = api.random_f64();
+                let rng_val = api.random_u64();
+                let q = self.mix.sample(self.users, self.items, draw, rng_val);
+                let req = HttpRequest::get(&q.to_path()).encode();
+                if let Some(c) = self.conns.get_mut(&sock) {
+                    c.sent_at = api.now();
+                    c.requested = true;
+                    api.tcp_send(sock, &req);
+                }
+            }
+            AppEvent::Tcp(TcpEvent::Data(sock)) => {
+                let raw = api.tcp_recv(sock);
+                let Some(c) = self.conns.get_mut(&sock) else { return };
+                c.parser.push(&raw);
+                if c.parser.next_response().is_some() {
+                    let sent_at = c.sent_at;
+                    if c.requested && api.now() >= self.measure_from {
+                        self.completed += 1;
+                        self.latency.record(api.now().since(sent_at));
+                    }
+                    self.conns.remove(&sock);
+                    api.tcp_close(sock);
+                }
+            }
+            AppEvent::Tcp(TcpEvent::ConnectFailed(sock)) | AppEvent::Tcp(TcpEvent::Reset(sock))
+                if self.conns.remove(&sock).is_some() => {
+                    self.errors += 1;
+                }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// iperf: bulk TCP throughput
+// ---------------------------------------------------------------------
+
+/// Receives a bulk stream and counts bytes.
+pub struct IperfServerApp {
+    port: u16,
+    /// Total payload bytes received.
+    pub bytes: u64,
+    /// First byte arrival.
+    pub first_byte: Option<SimTime>,
+    /// Last byte arrival.
+    pub last_byte: Option<SimTime>,
+}
+
+impl IperfServerApp {
+    /// Listens on `port`.
+    pub fn new(port: u16) -> Self {
+        IperfServerApp { port, bytes: 0, first_byte: None, last_byte: None }
+    }
+
+    /// Measured goodput in Mbit/s over the receive interval.
+    pub fn mbits_per_sec(&self) -> f64 {
+        match (self.first_byte, self.last_byte) {
+            (Some(a), Some(b)) if b > a => {
+                (self.bytes as f64 * 8.0) / b.since(a).as_secs_f64() / 1e6
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+impl App for IperfServerApp {
+    fn start(&mut self, api: &mut HostApi) {
+        assert!(api.tcp_listen(self.port));
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut HostApi) {
+        if let AppEvent::Tcp(TcpEvent::Data(sock)) = ev {
+            let data = api.tcp_recv(sock);
+            if !data.is_empty() {
+                self.bytes += data.len() as u64;
+                if self.first_byte.is_none() {
+                    self.first_byte = Some(api.now());
+                }
+                self.last_byte = Some(api.now());
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Sends a bulk stream for a fixed duration, keeping the send buffer
+/// topped up (so the window, not the application, is the limit).
+pub struct IperfClientApp {
+    target: (IpAddr, u16),
+    duration: SimDuration,
+    /// Wait this long before connecting (lets Teredo qualification or a
+    /// HIP base exchange settle first).
+    pub start_delay: SimDuration,
+    sock: Option<SockId>,
+    started_at: SimTime,
+    /// Bytes handed to TCP.
+    pub bytes_sent: u64,
+    done: bool,
+}
+
+const IPERF_CHUNK: usize = 64 * 1024;
+const IPERF_HIGH_WATER: usize = 256 * 1024;
+const TIMER_START: u64 = 2;
+
+impl IperfClientApp {
+    /// Streams to `target` for `duration` once connected.
+    pub fn new(target: (IpAddr, u16), duration: SimDuration) -> Self {
+        IperfClientApp {
+            target,
+            duration,
+            start_delay: SimDuration::ZERO,
+            sock: None,
+            started_at: SimTime::ZERO,
+            bytes_sent: 0,
+            done: false,
+        }
+    }
+
+    fn connect_now(&mut self, api: &mut HostApi) {
+        self.sock = api.tcp_connect(self.target.0, self.target.1);
+        assert!(self.sock.is_some(), "iperf: no source address for {}", self.target.0);
+    }
+
+    fn top_up(&mut self, api: &mut HostApi) {
+        let Some(sock) = self.sock else { return };
+        if self.done {
+            return;
+        }
+        if api.now().since(self.started_at) >= self.duration && self.bytes_sent > 0 {
+            self.done = true;
+            api.tcp_close(sock);
+            return;
+        }
+        while api.tcp_buffered(sock) < IPERF_HIGH_WATER {
+            api.tcp_send(sock, &[0x55u8; IPERF_CHUNK]);
+            self.bytes_sent += IPERF_CHUNK as u64;
+        }
+        api.set_timer(SimDuration::from_millis(5), TIMER_TICK);
+    }
+}
+
+impl App for IperfClientApp {
+    fn start(&mut self, api: &mut HostApi) {
+        if self.start_delay == SimDuration::ZERO {
+            self.connect_now(api);
+        } else {
+            api.set_timer(self.start_delay, TIMER_START);
+        }
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut HostApi) {
+        match ev {
+            AppEvent::Timer { token: TIMER_START } => self.connect_now(api),
+            AppEvent::Tcp(TcpEvent::Connected(_)) => {
+                self.started_at = api.now();
+                self.top_up(api);
+            }
+            AppEvent::Timer { token: TIMER_TICK } => self.top_up(api),
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// ping: ICMP RTT
+// ---------------------------------------------------------------------
+
+/// Sends `count` echo requests and records RTTs (the paper's "average
+/// response times for ICMP for 20 requests").
+pub struct PingApp {
+    target: IpAddr,
+    count: u16,
+    interval: SimDuration,
+    ident: u16,
+    payload_len: usize,
+    /// Wait this long before the first echo request.
+    pub start_delay: SimDuration,
+    sent: u16,
+    in_flight: HashMap<u16, SimTime>,
+    /// RTT samples.
+    pub rtts: LatencyStats,
+    /// Echo replies received.
+    pub received: u16,
+}
+
+impl PingApp {
+    /// Pings `target` `count` times at `interval`.
+    pub fn new(target: IpAddr, count: u16, interval: SimDuration, ident: u16) -> Self {
+        PingApp {
+            target,
+            count,
+            interval,
+            ident,
+            payload_len: 56,
+            start_delay: SimDuration::ZERO,
+            sent: 0,
+            in_flight: HashMap::new(),
+            rtts: LatencyStats::default(),
+            received: 0,
+        }
+    }
+
+    fn send_one(&mut self, api: &mut HostApi) {
+        if self.sent >= self.count {
+            return;
+        }
+        self.sent += 1;
+        let seq = self.sent;
+        self.in_flight.insert(seq, api.now());
+        api.ping(self.target, self.ident, seq, self.payload_len);
+        if self.sent < self.count {
+            api.set_timer(self.interval, TIMER_TICK);
+        }
+    }
+}
+
+impl App for PingApp {
+    fn start(&mut self, api: &mut HostApi) {
+        if self.start_delay == SimDuration::ZERO {
+            self.send_one(api);
+        } else {
+            api.set_timer(self.start_delay, TIMER_START);
+        }
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut HostApi) {
+        match ev {
+            AppEvent::Timer { token: TIMER_START } => self.send_one(api),
+            AppEvent::Timer { token: TIMER_TICK } => self.send_one(api),
+            AppEvent::EchoReply { ident, seq, .. } if ident == self.ident => {
+                if let Some(sent_at) = self.in_flight.remove(&seq) {
+                    self.received += 1;
+                    self.rtts.record(api.now().since(sent_at));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_math() {
+        let mut s = LatencyStats::default();
+        for ms in [10u64, 20, 30] {
+            s.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 20.0).abs() < 1e-9);
+        assert!((s.stddev() - 10.0).abs() < 1e-9);
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 30.0);
+        assert_eq!(s.percentile(50.0), 20.0);
+    }
+
+    #[test]
+    fn latency_stats_empty() {
+        let s = LatencyStats::default();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! The reverse HTTP proxy / load balancer.
+//!
+//! Plays HAProxy 1.3's role from the paper's architecture (Figure 1):
+//! consumers connect with plain HTTP from outside the cloud; the proxy
+//! terminates their connections and forwards requests to the web-server
+//! VMs using **round robin** ("a simple round robin algorithm was
+//! employed to distribute the incoming load"). When the backends are
+//! addressed by HIT/LSI, the proxy is exactly the paper's HIP
+//! terminator: "HTTP load balancers translate non-HIP traffic into
+//! HIP-based traffic inside the cloud" — end users need no HIP at all.
+
+use crate::http::{HttpResponse, RequestParser, ResponseParser};
+use crate::secure::{Channel, Conn};
+use netsim::host::{App, AppEvent, HostApi};
+use netsim::tcp::TcpEvent;
+use netsim::SockId;
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use tls_sim::TlsCosts;
+
+/// Security toward the backends (client side is always plain HTTP).
+pub enum BackendSecurity {
+    /// Plain TCP — or HIP when the backend addresses are HITs/LSIs.
+    Plain,
+    /// TLS to each backend.
+    Tls {
+        /// Trusted CA for backend certificates.
+        ca: sim_crypto::rsa::RsaPublicKey,
+        /// CPU cost table for the crypto.
+        costs: TlsCosts,
+    },
+}
+
+/// Counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProxyStats {
+    /// Client connections accepted.
+    pub accepted: u64,
+    /// Requests forwarded to backends.
+    pub forwarded: u64,
+    /// Responses relayed back to clients.
+    pub responses: u64,
+    /// Backend connections that failed.
+    pub backend_failures: u64,
+}
+
+struct ClientSide {
+    parser: RequestParser,
+    backend: Option<SockId>,
+}
+
+struct BackendSide {
+    conn: Conn,
+    parser: ResponseParser,
+    client: SockId,
+    connected: bool,
+    /// Requests accepted before the backend link came up.
+    queued: Vec<u8>,
+}
+
+/// The reverse proxy application.
+pub struct ProxyApp {
+    listen_port: u16,
+    backends: Vec<(IpAddr, u16)>,
+    security: BackendSecurity,
+    rr: usize,
+    clients: HashMap<SockId, ClientSide>,
+    backend_conns: HashMap<SockId, BackendSide>,
+    /// Counters.
+    pub stats: ProxyStats,
+}
+
+impl ProxyApp {
+    /// Creates a proxy listening on `listen_port`, balancing over
+    /// `backends`.
+    pub fn new(listen_port: u16, backends: Vec<(IpAddr, u16)>, security: BackendSecurity) -> Self {
+        assert!(!backends.is_empty(), "proxy needs at least one backend");
+        ProxyApp {
+            listen_port,
+            backends,
+            security,
+            rr: 0,
+            clients: HashMap::new(),
+            backend_conns: HashMap::new(),
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// Next backend in round-robin order.
+    fn pick_backend(&mut self) -> (IpAddr, u16) {
+        let b = self.backends[self.rr % self.backends.len()];
+        self.rr += 1;
+        b
+    }
+
+    fn ensure_backend(&mut self, client: SockId, api: &mut HostApi) -> Option<SockId> {
+        if let Some(c) = self.clients.get(&client) {
+            if let Some(b) = c.backend {
+                return Some(b);
+            }
+        }
+        let (addr, port) = self.pick_backend();
+        let sock = api.tcp_connect(addr, port)?;
+        self.backend_conns.insert(
+            sock,
+            BackendSide {
+                conn: Conn::new(sock, Channel::plain()),
+                parser: ResponseParser::default(),
+                client,
+                connected: false,
+                queued: Vec::new(),
+            },
+        );
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.backend = Some(sock);
+        }
+        Some(sock)
+    }
+
+    fn forward(&mut self, client: SockId, data: &[u8], api: &mut HostApi) {
+        let Some(backend) = self.ensure_backend(client, api) else {
+            self.stats.backend_failures += 1;
+            let resp = HttpResponse::error(502, "no backend").encode();
+            api.tcp_send(client, &resp);
+            return;
+        };
+        self.stats.forwarded += 1;
+        let link = self.backend_conns.get_mut(&backend).expect("just ensured");
+        if link.connected {
+            link.conn.send(data, api);
+        } else {
+            link.queued.extend_from_slice(data);
+        }
+    }
+}
+
+impl App for ProxyApp {
+    fn start(&mut self, api: &mut HostApi) {
+        assert!(api.tcp_listen(self.listen_port), "proxy port taken");
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut HostApi) {
+        match ev {
+            AppEvent::Tcp(TcpEvent::Accepted { sock, .. }) => {
+                self.stats.accepted += 1;
+                self.clients.insert(sock, ClientSide { parser: RequestParser::default(), backend: None });
+            }
+            AppEvent::Tcp(TcpEvent::Connected(sock)) => {
+                // A backend link came up: install its channel, flush.
+                let channel = match &self.security {
+                    BackendSecurity::Plain => Channel::plain(),
+                    BackendSecurity::Tls { ca, costs } => Channel::tls_client(ca.clone(), *costs, sock, api),
+                };
+                if let Some(link) = self.backend_conns.get_mut(&sock) {
+                    link.conn = Conn::new(sock, channel);
+                    link.connected = true;
+                    if !link.queued.is_empty() {
+                        let q = std::mem::take(&mut link.queued);
+                        link.conn.send(&q, api);
+                    }
+                }
+            }
+            AppEvent::Tcp(TcpEvent::Data(sock)) => {
+                let raw = api.tcp_recv(sock);
+                if self.backend_conns.contains_key(&sock) {
+                    // Backend → client direction.
+                    let link = self.backend_conns.get_mut(&sock).expect("checked");
+                    let out = link.conn.on_bytes(&raw, api);
+                    link.parser.push(&out.app_data);
+                    let client = link.client;
+                    let mut responses = Vec::new();
+                    while let Some(resp) = link.parser.next_response() {
+                        responses.push(resp);
+                    }
+                    for resp in responses {
+                        self.stats.responses += 1;
+                        if self.clients.contains_key(&client) {
+                            api.tcp_send(client, &resp.encode());
+                        }
+                    }
+                } else if self.clients.contains_key(&sock) {
+                    // Client → backend direction: parse requests so we
+                    // re-frame cleanly (header rewriting would go here).
+                    let mut requests = Vec::new();
+                    {
+                        let c = self.clients.get_mut(&sock).expect("checked");
+                        c.parser.push(&raw);
+                        while let Some(req) = c.parser.next_request() {
+                            requests.push(req);
+                        }
+                    }
+                    for req in requests {
+                        self.forward(sock, &req.encode(), api);
+                    }
+                }
+            }
+            AppEvent::Tcp(TcpEvent::ConnectFailed(sock)) => {
+                if let Some(link) = self.backend_conns.remove(&sock) {
+                    self.stats.backend_failures += 1;
+                    // Unbind so the client's next request picks a fresh
+                    // backend instead of dereferencing the dead one.
+                    if let Some(c) = self.clients.get_mut(&link.client) {
+                        if c.backend == Some(sock) {
+                            c.backend = None;
+                        }
+                        let resp = HttpResponse::error(502, "backend down").encode();
+                        api.tcp_send(link.client, &resp);
+                    }
+                }
+            }
+            AppEvent::Tcp(TcpEvent::PeerClosed(sock))
+            | AppEvent::Tcp(TcpEvent::Closed(sock))
+            | AppEvent::Tcp(TcpEvent::Reset(sock)) => {
+                if let Some(link) = self.backend_conns.remove(&sock) {
+                    // Backend went away: drop the client pairing so a new
+                    // backend is picked on the next request.
+                    if let Some(c) = self.clients.get_mut(&link.client) {
+                        c.backend = None;
+                    }
+                } else if let Some(c) = self.clients.remove(&sock) {
+                    if let Some(b) = c.backend {
+                        api.tcp_close(b);
+                        self.backend_conns.remove(&b);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::v4;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = ProxyApp::new(
+            80,
+            vec![(v4(10, 1, 0, 2), 80), (v4(10, 1, 0, 3), 80), (v4(10, 1, 0, 4), 80)],
+            BackendSecurity::Plain,
+        );
+        let picks: Vec<_> = (0..6).map(|_| p.pick_backend().0).collect();
+        assert_eq!(picks[0], picks[3]);
+        assert_eq!(picks[1], picks[4]);
+        assert_eq!(picks[2], picks[5]);
+        assert_ne!(picks[0], picks[1]);
+        assert_ne!(picks[1], picks[2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn needs_backends() {
+        let _ = ProxyApp::new(80, vec![], BackendSecurity::Plain);
+    }
+}

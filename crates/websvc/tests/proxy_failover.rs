@@ -1,0 +1,99 @@
+//! Proxy failure handling: HAProxy-like behaviour when backends are
+//! unreachable — clients get 502s instead of hangs, and live backends
+//! keep serving.
+
+use cloudsim::{CloudKind, CloudTopology, Flavor};
+use netsim::host::{App, AppEvent, HostApi};
+use netsim::tcp::TcpEvent;
+use netsim::{SimDuration, SimTime};
+use std::any::Any;
+use std::net::IpAddr;
+use websvc::http::{HttpRequest, ResponseParser};
+use websvc::proxy::{BackendSecurity, ProxyApp};
+use websvc::rubis::{QueryCosts, RubisData};
+use websvc::webserver::{WebConfig, WebServerApp};
+use websvc::{DB_PORT, LB_PORT, WEB_PORT};
+
+struct OneShot {
+    target: (IpAddr, u16),
+    parser: ResponseParser,
+    statuses: Vec<u16>,
+    requests: usize,
+}
+impl App for OneShot {
+    fn start(&mut self, api: &mut HostApi) {
+        for _ in 0..self.requests {
+            api.tcp_connect(self.target.0, self.target.1);
+        }
+    }
+    fn on_event(&mut self, ev: AppEvent, api: &mut HostApi) {
+        match ev {
+            AppEvent::Tcp(TcpEvent::Connected(s)) => {
+                api.tcp_send(s, &HttpRequest::get("/item?id=1").encode());
+            }
+            AppEvent::Tcp(TcpEvent::Data(s)) => {
+                let raw = api.tcp_recv(s);
+                self.parser.push(&raw);
+                while let Some(resp) = self.parser.next_response() {
+                    self.statuses.push(resp.status);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn dead_backend_yields_502_live_backend_serves() {
+    let mut topo = CloudTopology::new(31);
+    let cloud = topo.add_cloud("ec2", CloudKind::Public);
+    let db = topo.launch_vm(cloud, "db", Flavor::Large);
+    let web = topo.launch_vm(cloud, "web", Flavor::Micro);
+    let lb = topo.add_external_host("lb", Flavor::Dedicated);
+    let client = topo.add_external_host("client", Flavor::Dedicated);
+
+    // DB + one live web server.
+    let data = RubisData::generate(50, 100, 1);
+    topo.host_mut(db).add_app(Box::new(websvc::db::DbServerApp::new(
+        DB_PORT,
+        data,
+        QueryCosts::default(),
+        false,
+        websvc::db::ServerSecurity::Plain,
+    )));
+    let mut cfg = WebConfig::new(db.addr, DB_PORT);
+    cfg.port = WEB_PORT;
+    topo.host_mut(web).add_app(Box::new(WebServerApp::new(cfg)));
+
+    // The proxy balances over the live backend and a dead address.
+    let dead = netsim::packet::v4(10, 1, 0, 99);
+    let proxy_idx = topo.host_mut(lb).add_app(Box::new(ProxyApp::new(
+        LB_PORT,
+        vec![(web.addr, WEB_PORT), (dead, WEB_PORT)],
+        BackendSecurity::Plain,
+    )));
+
+    // Four client connections → round robin sends two to each backend.
+    let client_idx = topo.host_mut(client).add_app(Box::new(OneShot {
+        target: (lb.addr, LB_PORT),
+        parser: ResponseParser::default(),
+        statuses: vec![],
+        requests: 4,
+    }));
+
+    topo.sim.run_until(SimTime::ZERO + SimDuration::from_secs(90));
+    let statuses = &topo.host(client).app::<OneShot>(client_idx).unwrap().statuses;
+    let ok = statuses.iter().filter(|&&s| s == 200).count();
+    let bad = statuses.iter().filter(|&&s| s == 502).count();
+    assert_eq!(statuses.len(), 4, "every request answered: {statuses:?}");
+    assert_eq!(ok, 2, "live backend served its share: {statuses:?}");
+    assert_eq!(bad, 2, "dead backend turned into 502s: {statuses:?}");
+    let proxy = topo.host(lb).app::<ProxyApp>(proxy_idx).unwrap();
+    assert_eq!(proxy.stats.backend_failures, 2);
+}
