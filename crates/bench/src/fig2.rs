@@ -56,30 +56,15 @@ pub fn run_point(
 
 /// Runs the full sweep, parallelized across cells (each cell is an
 /// independent deterministic simulation — this is where the workspace
-/// uses threads, never inside a run).
+/// uses threads, never inside a run). Output is ordered by
+/// (scenario, clients), matching the cell grid.
 pub fn run_sweep(seed: u64, warmup: SimDuration, measure: SimDuration) -> Vec<Fig2Point> {
     let scenarios = [Scenario::Basic, Scenario::HipLsi, Scenario::Ssl];
     let cells: Vec<(Scenario, usize)> = scenarios
         .iter()
         .flat_map(|&s| CLIENT_COUNTS.iter().map(move |&c| (s, c)))
         .collect();
-    let results = std::sync::Mutex::new(Vec::with_capacity(cells.len()));
-    let n_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..n_workers.min(cells.len()) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(s, c)) = cells.get(i) else { break };
-                let point = run_point(s, c, seed, warmup, measure);
-                results.lock().expect("no poisoning").push(point);
-            });
-        }
-    })
-    .expect("worker panicked");
-    let mut out = results.into_inner().expect("no poisoning");
-    out.sort_by_key(|p| (p.scenario.label(), p.clients));
-    out
+    crate::sweep::par_sweep(&cells, |&(s, c)| run_point(s, c, seed, warmup, measure))
 }
 
 #[cfg(test)]

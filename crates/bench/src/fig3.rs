@@ -204,23 +204,13 @@ pub fn rtt(mode: Fig3Mode, seed: u64, count: u16) -> (f64, u16) {
 }
 
 /// Runs the complete Figure 3 (both series, all modes, in parallel).
+/// Output is in `Fig3Mode::ALL` order.
 pub fn run_all(seed: u64, iperf_duration: SimDuration, ping_count: u16) -> Vec<Fig3Point> {
-    let mut out: Vec<Option<Fig3Point>> = vec![None; Fig3Mode::ALL.len()];
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &mode in &Fig3Mode::ALL {
-            handles.push(scope.spawn(move |_| {
-                let mbits = iperf(mode, seed, iperf_duration);
-                let (rtt_ms, received) = rtt(mode, seed ^ 1, ping_count);
-                Fig3Point { mode, mbits, rtt_ms, pings_received: received }
-            }));
-        }
-        for (i, h) in handles.into_iter().enumerate() {
-            out[i] = Some(h.join().expect("mode run panicked"));
-        }
+    crate::sweep::par_sweep(&Fig3Mode::ALL, |&mode| {
+        let mbits = iperf(mode, seed, iperf_duration);
+        let (rtt_ms, received) = rtt(mode, seed ^ 1, ping_count);
+        Fig3Point { mode, mbits, rtt_ms, pings_received: received }
     })
-    .expect("scope");
-    out.into_iter().map(|p| p.expect("filled")).collect()
 }
 
 #[cfg(test)]

@@ -11,4 +11,5 @@
 pub mod fig2;
 pub mod fig3;
 pub mod report;
+pub mod sweep;
 pub mod tab_rt;

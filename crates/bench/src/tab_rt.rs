@@ -53,20 +53,10 @@ pub fn run(scenario: Scenario, rate: f64, seed: u64, warmup: SimDuration, measur
 }
 
 /// Runs all three scenarios (in parallel; independent simulations).
+/// Output is in scenario order: Basic, HipLsi, Ssl.
 pub fn run_all(rate: f64, seed: u64, warmup: SimDuration, measure: SimDuration) -> Vec<TabRtRow> {
     let scenarios = [Scenario::Basic, Scenario::HipLsi, Scenario::Ssl];
-    let mut rows: Vec<Option<TabRtRow>> = vec![None; scenarios.len()];
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &s in &scenarios {
-            handles.push(scope.spawn(move |_| run(s, rate, seed, warmup, measure)));
-        }
-        for (i, h) in handles.into_iter().enumerate() {
-            rows[i] = Some(h.join().expect("scenario run panicked"));
-        }
-    })
-    .expect("scope");
-    rows.into_iter().map(|r| r.expect("filled")).collect()
+    crate::sweep::par_sweep(&scenarios, |&s| run(s, rate, seed, warmup, measure))
 }
 
 #[cfg(test)]

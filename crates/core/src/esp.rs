@@ -53,6 +53,11 @@ pub struct EspSa {
     pub packets: u64,
     /// Bytes of plaintext protected (diagnostics).
     pub bytes: u64,
+    /// Pooled plaintext buffer: encode/decrypt reuse one allocation per
+    /// SA instead of allocating per packet.
+    scratch: Vec<u8>,
+    /// Pooled HMAC input buffer (`spi | seq | ciphertext`).
+    mac_scratch: Vec<u8>,
 }
 
 impl EspSa {
@@ -69,6 +74,8 @@ impl EspSa {
             inner_dst,
             packets: 0,
             bytes: 0,
+            scratch: Vec::new(),
+            mac_scratch: Vec::new(),
         }
     }
 
@@ -76,17 +83,20 @@ impl EspSa {
     /// into an ESP packet. `iv_seed` supplies IV randomness.
     pub fn encapsulate(&mut self, mode: InnerMode, payload: &Payload, iv_seed: u64) -> EspPacket {
         self.seq = self.seq.wrapping_add(1);
-        let plain = encode_inner(mode, payload);
+        self.scratch.clear();
+        encode_inner_into(mode, payload, &mut self.scratch);
         self.packets += 1;
-        self.bytes += plain.len() as u64;
+        self.bytes += self.scratch.len() as u64;
         // IV derived from seed + seq (unique per packet).
         let mut iv = [0u8; 16];
         iv[..8].copy_from_slice(&iv_seed.to_be_bytes());
         iv[8..12].copy_from_slice(&self.seq.to_be_bytes());
-        let ct = self.cipher.cbc_encrypt(&iv, &plain);
-        let mut wire = Vec::with_capacity(16 + ct.len());
+        // The wire buffer becomes the packet's `Bytes` (one unavoidable
+        // allocation); the plaintext is ciphered straight into it after
+        // the IV, with no intermediate ciphertext vector.
+        let mut wire = Vec::with_capacity(16 + self.scratch.len() + 16);
         wire.extend_from_slice(&iv);
-        wire.extend_from_slice(&ct);
+        self.cipher.cbc_encrypt_into(&iv, &self.scratch, &mut wire);
         let icv = self.icv(self.seq, &wire);
         EspPacket { spi: self.spi, seq: self.seq, ciphertext: Bytes::from(wire), icv: Bytes::copy_from_slice(&icv) }
     }
@@ -106,21 +116,21 @@ impl EspSa {
             return Err(EspError::BadCiphertext);
         }
         let iv: [u8; 16] = esp.ciphertext[..16].try_into().expect("16 bytes");
-        let plain = self
-            .cipher
-            .cbc_decrypt(&iv, &esp.ciphertext[16..])
-            .ok_or(EspError::BadCiphertext)?;
+        self.scratch.clear();
+        if !self.cipher.cbc_decrypt_into(&iv, &esp.ciphertext[16..], &mut self.scratch) {
+            return Err(EspError::BadCiphertext);
+        }
         self.packets += 1;
-        self.bytes += plain.len() as u64;
-        decode_inner(&plain).ok_or(EspError::BadInner)
+        self.bytes += self.scratch.len() as u64;
+        decode_inner(&self.scratch).ok_or(EspError::BadInner)
     }
 
-    fn icv(&self, seq: u32, ciphertext: &[u8]) -> [u8; ICV_LEN] {
-        let mut mac_input = Vec::with_capacity(8 + ciphertext.len());
-        mac_input.extend_from_slice(&self.spi.to_be_bytes());
-        mac_input.extend_from_slice(&seq.to_be_bytes());
-        mac_input.extend_from_slice(ciphertext);
-        let full = hmac_sha256(&self.auth_key, &mac_input);
+    fn icv(&mut self, seq: u32, ciphertext: &[u8]) -> [u8; ICV_LEN] {
+        self.mac_scratch.clear();
+        self.mac_scratch.extend_from_slice(&self.spi.to_be_bytes());
+        self.mac_scratch.extend_from_slice(&seq.to_be_bytes());
+        self.mac_scratch.extend_from_slice(ciphertext);
+        let full = hmac_sha256(&self.auth_key, &self.mac_scratch);
         full[..ICV_LEN].try_into().expect("truncation")
     }
 
@@ -182,11 +192,12 @@ impl InnerMode {
     }
 }
 
-/// Serializes a transport payload for encryption.
+/// Serializes a transport payload for encryption, appending to a pooled
+/// buffer (the caller clears it).
 ///
 /// Format: `mode (1) | kind (1) | kind-specific fields`.
-fn encode_inner(mode: InnerMode, payload: &Payload) -> Vec<u8> {
-    let mut out = vec![mode.id()];
+fn encode_inner_into(mode: InnerMode, payload: &Payload, out: &mut Vec<u8>) {
+    out.push(mode.id());
     match payload {
         Payload::Tcp(seg) => {
             out.push(1);
@@ -211,7 +222,7 @@ fn encode_inner(mode: InnerMode, payload: &Payload) -> Vec<u8> {
                 out.extend_from_slice(&udp.src_port.to_be_bytes());
                 out.extend_from_slice(&udp.dst_port.to_be_bytes());
                 out.extend_from_slice(&(udp.data.wire_len() as u32).to_be_bytes());
-                return out;
+                return;
             };
             out.push(2);
             out.extend_from_slice(&udp.src_port.to_be_bytes());
@@ -235,7 +246,6 @@ fn encode_inner(mode: InnerMode, payload: &Payload) -> Vec<u8> {
             out.push(0);
         }
     }
-    out
 }
 
 /// Parses the plaintext produced by [`encode_inner`].

@@ -203,7 +203,7 @@ mod tests {
                 pkt: Packet::new(v4(10, 0, 0, 5), rvs_addr, Payload::HipControl(bad.encode())),
             },
         );
-        sim.run_to_quiescence(100);
+        assert!(sim.run_to_quiescence(100).is_quiescent());
         let server = sim.world.node::<RendezvousServer>(rvs).unwrap();
         assert_eq!(server.len(), 1);
         assert_eq!(server.registration(&id.hit()), Some(v4(10, 0, 0, 5)));
@@ -260,7 +260,7 @@ mod tests {
                 pkt: Packet::new(v4(192, 0, 2, 33), rvs_addr, Payload::HipControl(i1.encode())),
             },
         );
-        sim.run_to_quiescence(100);
+        assert!(sim.run_to_quiescence(100).is_quiescent());
         let capture = sim.world.node::<Capture>(cap).unwrap();
         let relayed = capture
             .got

@@ -119,6 +119,9 @@ struct Rtx {
     tries: u32,
     deadline: SimTime,
     token: u64,
+    /// Engine handle for the armed timer, cancelled when the reply
+    /// arrives so acknowledged retransmissions never pop stale.
+    engine_timer: netsim::TimerToken,
 }
 
 /// Peer-side mobility verification in progress.
@@ -292,10 +295,12 @@ impl HipShim {
     fn arm_rtx(&mut self, api: &mut ShimApi, peer: Hit, bytes: bytes::Bytes, dst: IpAddr, tries: u32) {
         let token = self.alloc_timer(peer);
         let deadline = api.now() + self.config.retransmit_timeout;
+        let engine_timer = api.set_timer_cancellable(self.config.retransmit_timeout, token);
         if let Some(a) = self.assocs.get_mut(&peer) {
-            a.rtx = Some(Rtx { bytes, dst, tries, deadline, token });
+            if let Some(old) = a.rtx.replace(Rtx { bytes, dst, tries, deadline, token, engine_timer }) {
+                api.cancel_timer(old.engine_timer);
+            }
         }
-        api.set_timer(self.config.retransmit_timeout, token);
     }
 
     /// Signs a packet's parameter list: appends HMAC (if `hmac_key`) and
@@ -618,7 +623,9 @@ impl HipShim {
         let out_keys = assoc.pending_out_keys.take().expect("keys derived at I2");
         assoc.sa_out = Some(EspSa::new(peer_spi, out_keys.0, out_keys.1, my_hit.to_ip(), peer.to_ip()));
         assoc.state = AssocState::Established;
-        assoc.rtx = None;
+        if let Some(rtx) = assoc.rtx.take() {
+            api.cancel_timer(rtx.engine_timer);
+        }
         self.lsi.lsi_for(peer);
         self.stats.bex_completed += 1;
         api.trace_state(|| format!("BEX: established (initiator) with {peer:?}"));
@@ -678,7 +685,9 @@ impl HipShim {
             let (hmac_out, dst, src) = {
                 let assoc = self.assocs.get_mut(&peer).expect("present");
                 if ack.as_deref().is_some_and(|a| a.contains(&assoc.update_seq)) {
-                    assoc.rtx = None;
+                    if let Some(rtx) = assoc.rtx.take() {
+                        api.cancel_timer(rtx.engine_timer);
+                    }
                 }
                 // Return routability: the response must leave from the
                 // locator we announced, proving we are reachable there.
@@ -733,11 +742,13 @@ impl HipShim {
         let Some(src) = api.local_locator(&dst) else { return };
         let costs = self.config.costs;
         self.send_control(api, costs.verify(hi.algorithm()) + costs.sign(self.identity.algorithm()), &ack, src, dst);
-        self.teardown(&peer);
+        if let Some(rtx) = self.teardown(&peer) {
+            api.cancel_timer(rtx.engine_timer);
+        }
         self.stats.closes += 1;
     }
 
-    fn on_close_ack(&mut self, _api: &mut ShimApi, pkt: &HipPacket) {
+    fn on_close_ack(&mut self, api: &mut ShimApi, pkt: &HipPacket) {
         let peer = pkt.sender_hit;
         let Some(assoc) = self.assocs.get(&peer) else { return };
         if assoc.state != AssocState::Closing {
@@ -749,14 +760,21 @@ impl HipShim {
             _ => None,
         });
         if expected.is_some() && expected == got {
-            self.teardown(&peer);
+            if let Some(rtx) = self.teardown(&peer) {
+                api.cancel_timer(rtx.engine_timer);
+            }
             self.stats.closes += 1;
         }
     }
 
-    fn teardown(&mut self, peer: &Hit) {
-        if let Some(a) = self.assocs.remove(peer) {
+    /// Removes the association; returns its pending retransmission (if
+    /// any) so the caller can cancel the engine timer.
+    fn teardown(&mut self, peer: &Hit) -> Option<Rtx> {
+        if let Some(mut a) = self.assocs.remove(peer) {
             self.spi_in.remove(&a.local_spi);
+            a.rtx.take()
+        } else {
+            None
         }
     }
 
@@ -1014,6 +1032,8 @@ impl L35Shim for HipShim {
             // Give up.
             let state = assoc.state;
             self.stats.bex_failed += u64::from(state != AssocState::Established);
+            // The fired timer is this association's own (token matched
+            // above), so teardown's pending Rtx needs no cancel.
             self.teardown(&peer);
             api.trace_state(|| format!("BEX/UPDATE with {peer:?} failed after {max} retries"));
             return;

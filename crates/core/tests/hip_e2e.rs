@@ -687,7 +687,7 @@ fn replayed_registration_rejected_by_rvs() {
     deliver(&mut sim, &old_reg, 0);
     deliver(&mut sim, &new_reg, 10);
     deliver(&mut sim, &old_reg, 20); // the replay
-    sim.run_to_quiescence(100);
+    assert!(sim.run_to_quiescence(100).is_quiescent());
 
     let server = sim.world.node::<RendezvousServer>(rvs).unwrap();
     assert_eq!(

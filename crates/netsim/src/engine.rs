@@ -1,22 +1,30 @@
 //! The discrete-event simulation engine.
 //!
-//! A single binary heap orders events by `(time, sequence)`; the sequence
-//! number makes simultaneous events FIFO, so a run is fully deterministic
-//! given the seed. Nodes are trait objects that receive packets and
-//! timers through a [`Ctx`] handle which is the *only* way to affect the
-//! world — nodes cannot reach into each other, mirroring the shared-
-//! nothing structure the Rust Atomics & Locks / Rayon guidance favours
-//! (determinism inside a run; parallelism across runs).
+//! A calendar queue ([`crate::sched::CalendarQueue`]) orders events by
+//! `(time, sequence)`; the sequence number makes simultaneous events
+//! FIFO, so a run is fully deterministic given the seed. Nodes are trait
+//! objects that receive packets and timers through a [`Ctx`] handle
+//! which is the *only* way to affect the world — nodes cannot reach into
+//! each other, mirroring the shared-nothing structure the Rust Atomics &
+//! Locks / Rayon guidance favours (determinism inside a run; parallelism
+//! across runs).
+//!
+//! Timers come in two flavours: fire-and-forget ([`Ctx::set_timer`])
+//! and cancellable ([`Ctx::set_timer_cancellable`]), which returns a
+//! generation-stamped [`TimerToken`]. Cancellation is lazy — the queued
+//! event stays put and is discarded at pop time if its generation no
+//! longer matches — so cancelling never perturbs the RNG draw order or
+//! the schedule of other events, keeping traces identical whether or
+//! not a protocol layer bothers to cancel.
 
 use crate::link::{Endpoint, Link, LinkId, LinkParams, NodeId, TxResult};
 use crate::packet::Packet;
+use crate::sched::CalendarQueue;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceKind};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// A timer registration: the node-local `owner` routes the expiry to the
 /// right sub-layer, `token` is owner-defined.
@@ -41,6 +49,51 @@ pub enum TimerOwner {
     Node,
 }
 
+/// A handle for a cancellable timer: a slot in the engine's generation
+/// table plus the generation it was armed under. Cancelling or firing
+/// bumps the generation, so stale queue entries (and stale cancels) are
+/// recognised and ignored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimerToken {
+    slot: u32,
+    gen: u32,
+}
+
+/// Slot table backing [`TimerToken`]: `gens[slot]` is the live
+/// generation; a token is live iff its generation matches.
+#[derive(Default)]
+struct TimerSlots {
+    gens: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl TimerSlots {
+    fn alloc(&mut self) -> TimerToken {
+        match self.free.pop() {
+            Some(slot) => TimerToken { slot, gen: self.gens[slot as usize] },
+            None => {
+                self.gens.push(0);
+                TimerToken { slot: (self.gens.len() - 1) as u32, gen: 0 }
+            }
+        }
+    }
+
+    fn is_live(&self, t: TimerToken) -> bool {
+        self.gens.get(t.slot as usize) == Some(&t.gen)
+    }
+
+    /// Invalidates the token and recycles its slot. Returns whether the
+    /// token was still live (false = already fired or cancelled).
+    fn retire(&mut self, t: TimerToken) -> bool {
+        if !self.is_live(t) {
+            return false;
+        }
+        self.gens[t.slot as usize] = self.gens[t.slot as usize].wrapping_add(1);
+        self.free.push(t.slot);
+        true
+    }
+}
+
 /// An event in the queue.
 #[derive(Debug)]
 pub enum Event {
@@ -60,6 +113,16 @@ pub enum Event {
         /// The registration being fired.
         timer: TimerHandle,
     },
+    /// A cancellable timer fires at `node` — skipped without dispatch
+    /// if `token` was cancelled in the meantime.
+    CancellableTimer {
+        /// The node whose timer expired.
+        node: NodeId,
+        /// The registration being fired.
+        timer: TimerHandle,
+        /// The generation stamp checked at pop time.
+        token: TimerToken,
+    },
     /// A deferred link transmission (packet leaves `from` once its CPU
     /// processing completes; link queueing is resolved at this moment).
     LinkTx {
@@ -75,30 +138,6 @@ pub enum Event {
 /// Interface index used for packets a node delivers to itself (e.g. the
 /// decrypted inner packet of an ESP tunnel re-entering layer 4).
 pub const IFACE_INTERNAL: usize = usize::MAX;
-
-#[derive(Debug)]
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
 
 /// A simulated node: host, router, NAT box, Teredo relay, ...
 pub trait Node: Any {
@@ -178,6 +217,8 @@ pub struct Ctx<'a> {
     links: &'a mut [Link],
     rng: &'a mut StdRng,
     trace: &'a mut Trace,
+    slots: &'a mut TimerSlots,
+    stats: &'a mut SimStats,
     emitted: Vec<(SimTime, Event)>,
 }
 
@@ -224,9 +265,32 @@ impl Ctx<'_> {
         ));
     }
 
-    /// Arms a timer on the current node after `delay`.
+    /// Arms a fire-and-forget timer on the current node after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, timer: TimerHandle) {
         self.emitted.push((self.now + delay, Event::Timer { node: self.node, timer }));
+    }
+
+    /// Arms a cancellable timer on the current node after `delay`. The
+    /// returned token can be passed to [`Ctx::cancel_timer`]; a timer
+    /// that fires retires its own token, so cancelling after expiry is
+    /// a harmless no-op.
+    pub fn set_timer_cancellable(&mut self, delay: SimDuration, timer: TimerHandle) -> TimerToken {
+        let token = self.slots.alloc();
+        self.emitted
+            .push((self.now + delay, Event::CancellableTimer { node: self.node, timer, token }));
+        token
+    }
+
+    /// Cancels a timer armed with [`Ctx::set_timer_cancellable`].
+    /// Returns whether the timer was still pending. Lazy: the queued
+    /// event is discarded at pop time, so cancellation never changes
+    /// the timing or RNG draws of other events.
+    pub fn cancel_timer(&mut self, token: TimerToken) -> bool {
+        let was_live = self.slots.retire(token);
+        if was_live {
+            self.stats.timers_cancelled += 1;
+        }
+        was_live
     }
 
     /// Uniform f64 in [0,1).
@@ -260,17 +324,68 @@ impl Ctx<'_> {
     }
 }
 
+/// Counters the engine keeps while running. Snapshot via
+/// [`Sim::stats`]; cheap enough to maintain unconditionally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events pushed into the queue (all kinds).
+    pub scheduled: u64,
+    /// Events popped and dispatched to a node or link.
+    pub dispatched: u64,
+    /// Cancellable timers retired before firing.
+    pub timers_cancelled: u64,
+    /// Cancelled timer events discarded at pop time (never dispatched).
+    pub stale_timer_pops: u64,
+    /// Pushes that took the O(1) wheel fast path.
+    pub queue_wheel_pushes: u64,
+    /// Pushes that landed in the far-future overflow heap.
+    pub queue_overflow_pushes: u64,
+    /// Events migrated from overflow into the active window.
+    pub queue_migrations: u64,
+}
+
+/// How [`Sim::run_to_quiescence`] ended.
+#[must_use = "check whether the run actually quiesced or hit the safety cap"]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The queue drained: the simulation reached natural quiescence
+    /// after dispatching this many events.
+    Quiescent(u64),
+    /// The `max_events` safety cap was hit with events still queued —
+    /// the simulation was cut off, not finished.
+    CapReached(u64),
+}
+
+impl RunOutcome {
+    /// Events dispatched, regardless of how the run ended.
+    pub fn processed(self) -> u64 {
+        match self {
+            RunOutcome::Quiescent(n) | RunOutcome::CapReached(n) => n,
+        }
+    }
+
+    /// Whether the queue drained naturally.
+    pub fn is_quiescent(self) -> bool {
+        matches!(self, RunOutcome::Quiescent(_))
+    }
+}
+
 /// The simulator: world + clock + event queue.
 pub struct Sim {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: CalendarQueue<Event>,
     /// The topology; public so harnesses can build and inspect it.
     pub world: World,
     rng: StdRng,
     /// Trace buffer (disabled by default).
     pub trace: Trace,
     started: bool,
+    slots: TimerSlots,
+    stats: SimStats,
+    /// Recycled `Ctx::emitted` buffer so each dispatch reuses one
+    /// allocation instead of growing a fresh `Vec`.
+    scratch_emitted: Vec<(SimTime, Event)>,
 }
 
 impl Sim {
@@ -279,11 +394,14 @@ impl Sim {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             world: World::default(),
             rng: StdRng::seed_from_u64(seed),
             trace: Trace::disabled(),
             started: false,
+            slots: TimerSlots::default(),
+            stats: SimStats::default(),
+            scratch_emitted: Vec::new(),
         }
     }
 
@@ -292,11 +410,23 @@ impl Sim {
         self.now
     }
 
+    /// Counter snapshot, with the calendar queue's internals folded in.
+    pub fn stats(&self) -> SimStats {
+        let q = self.queue.stats();
+        SimStats {
+            queue_wheel_pushes: q.pushed_wheel,
+            queue_overflow_pushes: q.pushed_overflow,
+            queue_migrations: q.migrated,
+            ..self.stats
+        }
+    }
+
     /// Schedules an event after `delay`.
     pub fn schedule(&mut self, delay: SimDuration, event: Event) {
         let at = self.now + delay;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq: self.seq, event }));
+        self.stats.scheduled += 1;
+        self.queue.push(at, self.seq, event);
     }
 
     /// Calls `start` on every node exactly once (idempotent).
@@ -315,13 +445,16 @@ impl Sim {
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         self.start();
         let mut processed = 0;
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some((at, _seq)) = self.queue.peek_key() {
+            if at > deadline {
                 break;
             }
-            let Reverse(sched) = self.queue.pop().expect("peeked");
-            self.now = sched.at;
-            self.dispatch(sched.event);
+            let (at, _seq, event) = self.queue.pop().expect("peeked");
+            if self.discard_if_stale(&event) {
+                continue;
+            }
+            self.now = at;
+            self.dispatch(event);
             processed += 1;
         }
         // Time advances to the deadline even if the queue drained early.
@@ -331,21 +464,45 @@ impl Sim {
         processed
     }
 
-    /// Runs until no events remain (natural quiescence). A safety cap of
-    /// `max_events` guards against livelock; returns events processed.
-    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+    /// Runs until no events remain (natural quiescence) or the
+    /// `max_events` safety cap is hit; the [`RunOutcome`] says which —
+    /// a capped run means the simulation was cut off mid-flight, which
+    /// callers should treat differently from a drained queue.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> RunOutcome {
         self.start();
         let mut processed = 0;
         while processed < max_events {
-            let Some(Reverse(sched)) = self.queue.pop() else { break };
-            self.now = sched.at;
-            self.dispatch(sched.event);
+            let Some((at, _seq, event)) = self.queue.pop() else {
+                return RunOutcome::Quiescent(processed);
+            };
+            if self.discard_if_stale(&event) {
+                continue;
+            }
+            self.now = at;
+            self.dispatch(event);
             processed += 1;
         }
-        processed
+        if self.queue.is_empty() {
+            RunOutcome::Quiescent(processed)
+        } else {
+            RunOutcome::CapReached(processed)
+        }
+    }
+
+    /// True iff `event` is a cancelled timer that must be dropped
+    /// unprocessed (counted, but invisible to nodes, time, and RNG).
+    fn discard_if_stale(&mut self, event: &Event) -> bool {
+        if let Event::CancellableTimer { token, .. } = event {
+            if !self.slots.is_live(*token) {
+                self.stats.stale_timer_pops += 1;
+                return true;
+            }
+        }
+        false
     }
 
     fn dispatch(&mut self, event: Event) {
+        self.stats.dispatched += 1;
         match event {
             Event::PacketArrive { node, iface, pkt } => {
                 if self.world.nodes.get(node.0).map(Option::is_some) != Some(true) {
@@ -364,6 +521,15 @@ impl Sim {
                 }
                 self.with_node(node, |n, ctx| n.handle_timer(timer, ctx));
             }
+            Event::CancellableTimer { node, timer, token } => {
+                // Retire before dispatch so the handler can re-arm and
+                // a late cancel of this token is a no-op.
+                self.slots.retire(token);
+                if self.world.nodes.get(node.0).map(Option::is_some) != Some(true) {
+                    return;
+                }
+                self.with_node(node, |n, ctx| n.handle_timer(timer, ctx));
+            }
             Event::LinkTx { from, link, pkt } => {
                 let l = &mut self.world.links[link.0];
                 let loss_draw: f64 = self.rng.random();
@@ -374,11 +540,12 @@ impl Sim {
                             format!("{} -> {} proto {} len {}", pkt.src, pkt.dst, pkt.protocol(), pkt.wire_len())
                         });
                         self.seq += 1;
-                        self.queue.push(Reverse(Scheduled {
+                        self.stats.scheduled += 1;
+                        self.queue.push(
                             at,
-                            seq: self.seq,
-                            event: Event::PacketArrive { node: to.node, iface: to.iface, pkt },
-                        }));
+                            self.seq,
+                            Event::PacketArrive { node: to.node, iface: to.iface, pkt },
+                        );
                     }
                     TxResult::Dropped => {
                         self.trace.record(self.now, from, TraceKind::Drop, || {
@@ -400,15 +567,20 @@ impl Sim {
             links: &mut self.world.links,
             rng: &mut self.rng,
             trace: &mut self.trace,
-            emitted: Vec::new(),
+            slots: &mut self.slots,
+            stats: &mut self.stats,
+            emitted: std::mem::take(&mut self.scratch_emitted),
         };
         f(node.as_mut(), &mut ctx);
-        let emitted = std::mem::take(&mut ctx.emitted);
+        let mut emitted = std::mem::take(&mut ctx.emitted);
         self.world.nodes[id.0] = Some(node);
-        for (at, event) in emitted {
+        for (at, event) in emitted.drain(..) {
             self.seq += 1;
-            self.queue.push(Reverse(Scheduled { at, seq: self.seq, event }));
+            self.stats.scheduled += 1;
+            self.queue.push(at, self.seq, event);
         }
+        // Hand the (now empty) buffer back for the next dispatch.
+        self.scratch_emitted = emitted;
     }
 
     /// Runs `f` against a node outside the event loop (e.g. to inject a
@@ -477,7 +649,9 @@ mod tests {
         sim.with_node_ctx(a, |_n, ctx| {
             ctx.transmit(LinkId(0), icmp_packet());
         });
-        let n = sim.run_to_quiescence(1000);
+        let outcome = sim.run_to_quiescence(1000);
+        assert!(outcome.is_quiescent(), "small sim must drain");
+        let n = outcome.processed();
         assert!(n >= 2, "at least delivery + echo, got {n}");
         assert_eq!(sim.world.node::<Echo>(b).unwrap().received, 1);
         assert_eq!(sim.world.node::<Echo>(a).unwrap().received, 2); // injected + echo
@@ -490,7 +664,7 @@ mod tests {
             let (mut sim, a, _b) = two_node_sim();
             sim.rng = StdRng::seed_from_u64(seed);
             sim.with_node_ctx(a, |_n, ctx| ctx.transmit(LinkId(0), icmp_packet()));
-            sim.run_to_quiescence(1000);
+            let _ = sim.run_to_quiescence(1000);
             sim.now().as_nanos()
         };
         assert_eq!(run(7), run(7));
@@ -532,8 +706,78 @@ mod tests {
         }
         let mut sim = Sim::new(0);
         let n = sim.world.add_node(Box::new(TimerNode { fired: vec![] }));
-        sim.run_to_quiescence(100);
+        let _ = sim.run_to_quiescence(100);
         // Token 1 first (earlier), then 2 before 3 (FIFO at equal times).
         assert_eq!(sim.world.node::<TimerNode>(n).unwrap().fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        struct CancelNode {
+            pending: Vec<TimerToken>,
+            fired: Vec<u64>,
+        }
+        impl Node for CancelNode {
+            fn start(&mut self, ctx: &mut Ctx) {
+                for tok in 1..=4u64 {
+                    let t = ctx.set_timer_cancellable(
+                        SimDuration::from_millis(10 * tok),
+                        TimerHandle { owner: TimerOwner::Node, token: tok },
+                    );
+                    self.pending.push(t);
+                }
+                // Cancel 2 and 4 immediately; 1 and 3 must still fire.
+                let second = self.pending[1];
+                let fourth = self.pending[3];
+                assert!(ctx.cancel_timer(second));
+                assert!(ctx.cancel_timer(fourth));
+                // Double-cancel is a no-op.
+                assert!(!ctx.cancel_timer(second));
+            }
+            fn handle_packet(&mut self, _: usize, _: Packet, _: &mut Ctx) {}
+            fn handle_timer(&mut self, t: TimerHandle, ctx: &mut Ctx) {
+                self.fired.push(t.token);
+                // Cancelling an already-fired token is a no-op.
+                let mine = self.pending[(t.token - 1) as usize];
+                assert!(!ctx.cancel_timer(mine));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(0);
+        let n = sim.world.add_node(Box::new(CancelNode { pending: vec![], fired: vec![] }));
+        let outcome = sim.run_to_quiescence(100);
+        assert!(outcome.is_quiescent());
+        assert_eq!(sim.world.node::<CancelNode>(n).unwrap().fired, vec![1, 3]);
+        let stats = sim.stats();
+        assert_eq!(stats.timers_cancelled, 2);
+        assert_eq!(stats.stale_timer_pops, 2);
+    }
+
+    #[test]
+    fn quiescence_cap_is_reported() {
+        // An echo pair bouncing a packet forever: the cap must trip and
+        // say so.
+        let (mut sim, a, b) = two_node_sim();
+        sim.world.node_mut::<Echo>(a).unwrap().echo = true;
+        let _ = b;
+        sim.with_node_ctx(a, |_n, ctx| ctx.transmit(LinkId(0), icmp_packet()));
+        let outcome = sim.run_to_quiescence(10);
+        assert_eq!(outcome, RunOutcome::CapReached(10));
+        assert!(!outcome.is_quiescent());
+    }
+
+    #[test]
+    fn stats_count_scheduled_and_dispatched() {
+        let (mut sim, a, _b) = two_node_sim();
+        sim.with_node_ctx(a, |_n, ctx| ctx.transmit(LinkId(0), icmp_packet()));
+        let outcome = sim.run_to_quiescence(1000);
+        let stats = sim.stats();
+        assert_eq!(stats.dispatched, outcome.processed());
+        assert!(stats.scheduled >= stats.dispatched);
     }
 }

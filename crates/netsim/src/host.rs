@@ -17,7 +17,7 @@
 
 use crate::addr::{is_identity, select_source};
 use crate::cpu::CpuModel;
-use crate::engine::{Ctx, Node, TimerHandle, TimerOwner, IFACE_INTERNAL};
+use crate::engine::{Ctx, Node, TimerHandle, TimerOwner, TimerToken, IFACE_INTERNAL};
 use crate::link::LinkId;
 use crate::packet::{
     proto, IcmpKind, IcmpMessage, Packet, Payload, UdpData, UdpDatagram,
@@ -132,6 +132,9 @@ pub struct HostCore {
     icmp_owner: HashMap<u16, usize>,
     app_events: VecDeque<(usize, AppEvent)>,
     upper_out: VecDeque<Packet>,
+    /// Live engine timer per TCP socket token, so obsoleted retransmission
+    /// timers are cancelled instead of popping stale.
+    tcp_timer_tokens: HashMap<u64, TimerToken>,
 }
 
 impl HostCore {
@@ -148,6 +151,7 @@ impl HostCore {
             icmp_owner: HashMap::new(),
             app_events: VecDeque::new(),
             upper_out: VecDeque::new(),
+            tcp_timer_tokens: HashMap::new(),
         }
     }
 
@@ -321,8 +325,18 @@ impl HostCore {
         for (app, ev) in self.tcp.events.drain(..) {
             self.app_events.push_back((app, AppEvent::Tcp(ev)));
         }
+        // Cancels first: a cancel-then-rearm sequence emitted within one
+        // dispatch must leave the rearm live (see `TcpLayer::cancel_reqs`).
+        for token in self.tcp.cancel_reqs.drain(..) {
+            if let Some(t) = self.tcp_timer_tokens.remove(&token) {
+                ctx.cancel_timer(t);
+            }
+        }
         for (delay, token) in self.tcp.timer_reqs.drain(..) {
-            ctx.set_timer(delay, TimerHandle { owner: TimerOwner::Tcp, token });
+            let t = ctx.set_timer_cancellable(delay, TimerHandle { owner: TimerOwner::Tcp, token });
+            if let Some(old) = self.tcp_timer_tokens.insert(token, t) {
+                ctx.cancel_timer(old);
+            }
         }
         for pkt in self.udp.out.drain(..) {
             self.upper_out.push_back(pkt);
@@ -335,6 +349,7 @@ impl HostCore {
             || !self.tcp.out.is_empty()
             || !self.tcp.events.is_empty()
             || !self.tcp.timer_reqs.is_empty()
+            || !self.tcp.cancel_reqs.is_empty()
             || !self.udp.out.is_empty()
     }
 }
@@ -603,6 +618,10 @@ impl Node for Host {
     fn handle_timer(&mut self, timer: TimerHandle, ctx: &mut Ctx) {
         match timer.owner {
             TimerOwner::Tcp => {
+                // Any TCP timer that reaches us is the socket's live one
+                // (obsoleted ones were cancelled when replaced); drop the
+                // mapping before `on_timer` so a rearm installs fresh.
+                self.core.tcp_timer_tokens.remove(&timer.token);
                 let now = ctx.now;
                 self.core.tcp.on_timer(timer.token, now);
             }
@@ -794,6 +813,17 @@ impl ShimApi<'_, '_> {
     /// Arms a shim timer.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
         self.ctx.set_timer(delay, TimerHandle { owner: TimerOwner::Shim, token });
+    }
+
+    /// Arms a cancellable shim timer; keep the returned token to cancel it.
+    pub fn set_timer_cancellable(&mut self, delay: SimDuration, token: u64) -> TimerToken {
+        self.ctx.set_timer_cancellable(delay, TimerHandle { owner: TimerOwner::Shim, token })
+    }
+
+    /// Cancels a timer armed with [`Self::set_timer_cancellable`].
+    /// Returns false if it already fired or was already cancelled.
+    pub fn cancel_timer(&mut self, token: TimerToken) -> bool {
+        self.ctx.cancel_timer(token)
     }
 
     /// Registers an identity address (HIT/LSI) as belonging to this host.
@@ -1058,7 +1088,7 @@ mod tests {
                 ),
             );
         });
-        sim.run_to_quiescence(100);
+        assert!(sim.run_to_quiescence(100).is_quiescent());
         assert!(
             sim.trace.of_kind(crate::trace::TraceKind::Drop).count() > 0,
             "non-local packet must be dropped"

@@ -29,13 +29,17 @@ pub mod link;
 pub mod nat;
 pub mod packet;
 pub mod router;
+pub mod sched;
 pub mod tcp;
 pub mod teredo;
 pub mod time;
 pub mod trace;
 
 pub use cpu::CpuModel;
-pub use engine::{Ctx, Event, Node, Sim, TimerHandle, TimerOwner, World, IFACE_INTERNAL};
+pub use engine::{
+    Ctx, Event, Node, RunOutcome, Sim, SimStats, TimerHandle, TimerOwner, TimerToken, World,
+    IFACE_INTERNAL,
+};
 pub use host::{App, AppEvent, Host, HostApi, HostCore, L35Shim, ShimApi};
 pub use link::{Endpoint, Link, LinkId, LinkParams, NodeId};
 pub use packet::{Packet, Payload};

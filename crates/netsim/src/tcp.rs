@@ -165,6 +165,12 @@ pub struct TcpLayer {
     pub events: Vec<(usize, TcpEvent)>,
     /// Timer requests `(delay, token)` the host must arm (owner = Tcp).
     pub timer_reqs: Vec<(SimDuration, u64)>,
+    /// Tokens whose pending engine timer is no longer needed; the host
+    /// cancels these *before* arming `timer_reqs` so a cancel-then-rearm
+    /// sequence inside one dispatch leaves the rearm live. (An arm that is
+    /// later obsoleted in the same dispatch merely pops stale — the
+    /// per-socket deadline checks in `on_timer` remain the backstop.)
+    pub cancel_reqs: Vec<u64>,
 }
 
 impl TcpLayer {
@@ -179,6 +185,7 @@ impl TcpLayer {
             out: Vec::new(),
             events: Vec::new(),
             timer_reqs: Vec::new(),
+            cancel_reqs: Vec::new(),
         }
     }
 
@@ -429,6 +436,7 @@ impl TcpLayer {
                     s.state = TcpState::Established;
                     s.rtx_deadline = None;
                     s.rtx_count = 0;
+                    self.cancel_reqs.push(id.0 as u64);
                     // RFC 6298 §5.7: the RTO backed off by SYN losses must
                     // be re-initialized when data transmission begins.
                     s.rto = s.cfg.rto_initial;
@@ -444,6 +452,7 @@ impl TcpLayer {
                     s.snd_wnd = seg.window;
                     s.rtx_deadline = None;
                     s.rtx_count = 0;
+                    self.cancel_reqs.push(id.0 as u64);
                     s.rto = s.cfg.rto_initial;
                     let port = s.local.1;
                     self.events.push((app, TcpEvent::Accepted { listener_port: port, sock: id }));
@@ -497,6 +506,7 @@ impl TcpLayer {
                 if s.snd_una == s.snd_nxt {
                     s.rtx_deadline = None;
                     s.rtx_count = 0;
+                    self.cancel_reqs.push(id.0 as u64);
                 } else {
                     s.arm_rtx(now, &mut self.timer_reqs);
                 }
@@ -607,6 +617,7 @@ impl TcpLayer {
         if let Some(Some(s)) = self.sockets.get(id.0) {
             let key = (s.local.0, s.local.1, s.remote.0, s.remote.1);
             self.conn_map.remove(&key);
+            self.cancel_reqs.push(id.0 as u64);
         }
         if let Some(slot) = self.sockets.get_mut(id.0) {
             *slot = None;
@@ -707,8 +718,7 @@ impl TcpSocket {
             let unsent = self.send_buf.len() - unsent_off;
             if unsent > 0 && available > 0 && self.fin_seq.is_none() {
                 let take = unsent.min(available).min(self.cfg.mss);
-                let chunk: Vec<u8> =
-                    self.send_buf.iter().skip(unsent_off).take(take).copied().collect();
+                let chunk = self.copy_send_range(unsent_off, take);
                 let seq = self.snd_nxt;
                 let mut flags = TcpFlags::ACK;
                 // Piggyback FIN on the last segment if closing and this
@@ -753,7 +763,7 @@ impl TcpSocket {
         let flight_data = self.send_buf.len();
         if flight_data > 0 {
             let take = flight_data.min(self.cfg.mss);
-            let chunk: Vec<u8> = self.send_buf.iter().take(take).copied().collect();
+            let chunk = self.copy_send_range(0, take);
             let mut flags = TcpFlags::ACK;
             if self.fin_seq.is_some() && take == flight_data {
                 // FIN rides again on the tail retransmission.
@@ -771,6 +781,22 @@ impl TcpSocket {
             let pkt = self.make_segment(self.snd_una, TcpFlags::SYN_ACK, Bytes::new());
             out.push(pkt);
         }
+    }
+
+    /// Copies `len` bytes starting at `off` out of the send buffer using
+    /// the deque's contiguous slices (a `skip(off)` walk is O(buffer)).
+    fn copy_send_range(&self, off: usize, len: usize) -> Vec<u8> {
+        let mut chunk = Vec::with_capacity(len);
+        let (a, b) = self.send_buf.as_slices();
+        if off < a.len() {
+            let n = (a.len() - off).min(len);
+            chunk.extend_from_slice(&a[off..off + n]);
+            chunk.extend_from_slice(&b[..len - n]);
+        } else {
+            let off = off - a.len();
+            chunk.extend_from_slice(&b[off..off + len]);
+        }
+        chunk
     }
 
     fn arm_rtx(&mut self, now: SimTime, timer_reqs: &mut Vec<(SimDuration, u64)>) {

@@ -129,12 +129,22 @@ impl Aes128 {
     /// CBC encryption with PKCS#7 padding. Output is a multiple of 16 bytes
     /// and always at least one block longer than an exact-multiple input.
     pub fn cbc_encrypt(&self, iv: &[u8; BLOCK_LEN], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.cbc_encrypt_into(iv, plaintext, &mut out);
+        out
+    }
+
+    /// Like [`Self::cbc_encrypt`], but *appends* the ciphertext to `out`
+    /// (which is not cleared), so callers can pool one buffer per
+    /// association or prepend a header before the ciphertext.
+    pub fn cbc_encrypt_into(&self, iv: &[u8; BLOCK_LEN], plaintext: &[u8], out: &mut Vec<u8>) {
+        let start = out.len();
         let pad = BLOCK_LEN - plaintext.len() % BLOCK_LEN;
-        let mut data = Vec::with_capacity(plaintext.len() + pad);
-        data.extend_from_slice(plaintext);
-        data.extend(std::iter::repeat_n(pad as u8, pad));
+        out.reserve(plaintext.len() + pad);
+        out.extend_from_slice(plaintext);
+        out.extend(std::iter::repeat_n(pad as u8, pad));
         let mut prev = *iv;
-        for chunk in data.chunks_mut(BLOCK_LEN) {
+        for chunk in out[start..].chunks_mut(BLOCK_LEN) {
             let block: &mut [u8; BLOCK_LEN] = chunk.try_into().unwrap();
             for i in 0..BLOCK_LEN {
                 block[i] ^= prev[i];
@@ -142,18 +152,29 @@ impl Aes128 {
             self.encrypt_block(block);
             prev = *block;
         }
-        data
     }
 
     /// CBC decryption undoing PKCS#7 padding. Returns `None` on malformed
     /// input (length not a block multiple, or invalid padding).
     pub fn cbc_decrypt(&self, iv: &[u8; BLOCK_LEN], ciphertext: &[u8]) -> Option<Vec<u8>> {
-        if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK_LEN) {
-            return None;
+        let mut out = Vec::new();
+        if self.cbc_decrypt_into(iv, ciphertext, &mut out) {
+            Some(out)
+        } else {
+            None
         }
-        let mut out = ciphertext.to_vec();
+    }
+
+    /// Like [`Self::cbc_decrypt`], but *appends* the plaintext to `out`.
+    /// Returns false (leaving `out` as it was) on malformed input.
+    pub fn cbc_decrypt_into(&self, iv: &[u8; BLOCK_LEN], ciphertext: &[u8], out: &mut Vec<u8>) -> bool {
+        if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK_LEN) {
+            return false;
+        }
+        let start = out.len();
+        out.extend_from_slice(ciphertext);
         let mut prev = *iv;
-        for chunk in out.chunks_mut(BLOCK_LEN) {
+        for chunk in out[start..].chunks_mut(BLOCK_LEN) {
             let block: &mut [u8; BLOCK_LEN] = chunk.try_into().unwrap();
             let saved = *block;
             self.decrypt_block(block);
@@ -162,15 +183,15 @@ impl Aes128 {
             }
             prev = saved;
         }
-        let pad = *out.last()? as usize;
-        if pad == 0 || pad > BLOCK_LEN || pad > out.len() {
-            return None;
-        }
-        if !out[out.len() - pad..].iter().all(|&b| b == pad as u8) {
-            return None;
+        let pad = out[out.len() - 1] as usize;
+        if pad == 0 || pad > BLOCK_LEN || pad > out.len() - start
+            || !out[out.len() - pad..].iter().all(|&b| b == pad as u8)
+        {
+            out.truncate(start);
+            return false;
         }
         out.truncate(out.len() - pad);
-        Some(out)
+        true
     }
 
     /// CTR-mode keystream XOR (encryption and decryption are identical).

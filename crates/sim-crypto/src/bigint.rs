@@ -755,8 +755,8 @@ mod tests {
     fn div_rem_randomized() {
         let mut rng = rng();
         for _ in 0..200 {
-            let a_bits = 1 + rng.random_range(0..512);
-            let b_bits = 1 + rng.random_range(0..256);
+            let a_bits = 1 + rng.random_range(0..512usize);
+            let b_bits = 1 + rng.random_range(0..256usize);
             let a = BigUint::random_bits(&mut rng, a_bits);
             let b = BigUint::random_exact_bits(&mut rng, b_bits);
             let (q, r) = a.div_rem(&b);
