@@ -14,9 +14,12 @@
 //!    cryptography (and R1s are pre-computed), the flood costs it almost
 //!    nothing and the legitimate exchange completes normally.
 //!
-//! Usage: `cargo run -p bench --release --bin ablation_dos`
+//! Usage: `cargo run -p bench --release --bin ablation_dos [--trace-out <path>]`
+//!
+//! Writes a run manifest to `results/ablation_dos-flood.json`;
+//! `--trace-out` exports the flood run's typed trace as JSONL.
 
-use bench::report::table;
+use bench::report::{manifest, table, trace_out, write_manifest};
 use hip_core::identity::{Hit, HostIdentity};
 use hip_core::wire::{HipPacket, PacketType, Param};
 use hip_core::{puzzle, HipConfig, HipShim, PeerInfo};
@@ -164,6 +167,10 @@ fn main() {
     shim_c.add_peer(hit_r, PeerInfo { locators: vec![addr_r], via_rvs: None });
 
     let mut sim = Sim::new(2);
+    let trace_path = trace_out();
+    if trace_path.is_some() {
+        sim.trace = netsim::trace::Trace::enabled(500_000);
+    }
     let mut hr_host = Host::new("responder");
     hr_host.set_shim(Box::new(shim_r));
     hr_host.add_app(Box::new(Listener));
@@ -197,7 +204,9 @@ fn main() {
         router.add_route(addr_c, 32, 1);
         router.add_route(addr_x, 32, 2);
     }
+    let wall_start = Instant::now();
     sim.run_until(SimTime(10_000_000_000));
+    let wall = wall_start.elapsed().as_secs_f64();
 
     let responder = sim.world.node::<Host>(r).expect("r");
     let stats = responder.shim::<HipShim>().expect("shim").stats;
@@ -214,4 +223,26 @@ fn main() {
     assert!(stats.bex_completed >= 1, "legitimate BEX must survive the flood");
     assert!(stats.drops_auth as f64 >= flooded as f64 * 0.9, "flood rejected");
     println!("\nthe responder rejects each forged I2 with one hash (puzzle check\nbefore any DH/RSA work) and answers I1s from a pre-computed R1 pool —\nthe DoS cost stays with the attacker, growing 2^K per attempt.");
+
+    let dispatched = sim.stats().dispatched;
+    let metrics = sim.take_metrics();
+    let mut m = manifest("ablation_dos", "flood", 2);
+    m.num("forged_i2s", flooded)
+        .num("rejected", stats.drops_auth)
+        .num("bex_completed", stats.bex_completed);
+    match write_manifest(m, wall, dispatched, &metrics) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("manifest write failed: {e}"),
+    }
+    if let Some(path) = trace_path {
+        match sim.trace.write_jsonl(&path) {
+            Ok(()) => eprintln!(
+                "wrote {} trace records to {} ({} dropped at cap)",
+                sim.trace.entries().len(),
+                path.display(),
+                sim.trace.truncated()
+            ),
+            Err(e) => eprintln!("trace write failed: {e}"),
+        }
+    }
 }

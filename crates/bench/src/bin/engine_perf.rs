@@ -12,12 +12,17 @@
 //! 2. **End-to-end events/sec** — a mesh of echo ping-pong hosts run
 //!    through the full `Sim` dispatch loop (timers, links, packets),
 //!    reporting dispatched events per wall-clock second plus the
-//!    `SimStats` counter block.
+//!    `SimStats` counter block. The end-to-end run is measured twice,
+//!    interleaved, with the metrics registry **on** and **off**: the
+//!    same-seed runs must be bit-identical (identical `SimStats`), and
+//!    the metrics-on run must stay within 5% of the metrics-off
+//!    events/sec — observability must never perturb or slow the engine.
 //!
-//! Writes `results/engine_perf.json`.
+//! Writes `results/engine_perf.json` plus a run manifest.
 //!
-//! Usage: `cargo run -p bench --release --bin engine_perf [-- quick]`
+//! Usage: `cargo run -p bench --release --bin engine_perf [-- quick] [--trace-out <path>]`
 
+use bench::report::{manifest, trace_out, write_manifest};
 use netsim::sched::CalendarQueue;
 use netsim::{
     Ctx, Endpoint, LinkParams, Node, Packet, Payload, Sim, SimDuration, SimStats, SimTime,
@@ -170,8 +175,22 @@ impl Node for Echoer {
     }
 }
 
-fn end_to_end(pairs: usize, sim_seconds: u64) -> (f64, u64, f64, SimStats) {
+/// Outcome of one end-to-end run.
+struct E2E {
+    eps: f64,
+    dispatched: u64,
+    wall: f64,
+    stats: SimStats,
+    metrics: obs::MetricsRegistry,
+    trace: netsim::trace::Trace,
+}
+
+fn end_to_end(pairs: usize, sim_seconds: u64, metrics_on: bool, trace_cap: usize) -> E2E {
     let mut sim = Sim::new(42);
+    sim.set_metrics_enabled(metrics_on);
+    if trace_cap > 0 {
+        sim.trace = netsim::trace::Trace::enabled(trace_cap).with_timers(true);
+    }
     let deadline = SimTime(sim_seconds * 1_000_000_000);
     for i in 0..pairs {
         let a_ip = v4(10, 1, (i / 250) as u8, (i % 250) as u8);
@@ -200,7 +219,14 @@ fn end_to_end(pairs: usize, sim_seconds: u64) -> (f64, u64, f64, SimStats) {
     assert!(outcome.is_quiescent());
     let stats = sim.stats();
     let eps = stats.dispatched as f64 / wall;
-    (eps, stats.dispatched, wall, stats)
+    E2E {
+        eps,
+        dispatched: stats.dispatched,
+        wall,
+        stats,
+        metrics: sim.take_metrics(),
+        trace: std::mem::replace(&mut sim.trace, netsim::trace::Trace::disabled()),
+    }
 }
 
 fn main() {
@@ -216,10 +242,29 @@ fn main() {
     println!("  speedup        : {ratio:.2}x");
 
     println!("end-to-end dispatch ({pairs} echo pairs, {sim_secs}s simulated)");
-    let (eps, dispatched, wall, stats) = end_to_end(pairs, sim_secs);
+    // Interleaved best-of-3, metrics on vs off: interleaving cancels
+    // out drift from sharing the machine with other work.
+    let mut best_on: Option<E2E> = None;
+    let mut best_off: Option<E2E> = None;
+    for _ in 0..3 {
+        let on = end_to_end(pairs, sim_secs, true, 0);
+        let off = end_to_end(pairs, sim_secs, false, 0);
+        if best_on.as_ref().is_none_or(|b| on.eps > b.eps) {
+            best_on = Some(on);
+        }
+        if best_off.as_ref().is_none_or(|b| off.eps > b.eps) {
+            best_off = Some(off);
+        }
+    }
+    let on = best_on.expect("ran");
+    let off = best_off.expect("ran");
+    let (eps, dispatched, wall, stats) = (on.eps, on.dispatched, on.wall, on.stats);
     println!("  events         : {dispatched}");
     println!("  wall           : {wall:.3}s");
-    println!("  events/sec     : {eps:>12.0}");
+    println!("  events/sec     : {eps:>12.0} (metrics on)");
+    println!("  events/sec     : {:>12.0} (metrics off)", off.eps);
+    let overhead_pct = (off.eps / eps - 1.0) * 100.0;
+    println!("  metrics overhead: {overhead_pct:.2}%");
     println!(
         "  stats          : scheduled={} dispatched={} cancelled={} stale={} wheel={} overflow={} migrations={}",
         stats.scheduled,
@@ -230,10 +275,27 @@ fn main() {
         stats.queue_overflow_pushes,
         stats.queue_migrations
     );
+    // Determinism: metrics must observe, never perturb. Same seed with
+    // the registry on and off must give bit-identical engine behavior.
+    assert_eq!(
+        on.stats, off.stats,
+        "metrics on vs off changed the event schedule — observability perturbed the run"
+    );
+    assert!(
+        overhead_pct <= 5.0,
+        "metrics-on run is {overhead_pct:.2}% slower than metrics-off (budget: 5%)"
+    );
+    println!("  metrics on/off : bit-identical SimStats, overhead within 5% budget");
+    // Engine counters visible through the registry on the metrics-on run.
+    let ev_pkts = on.metrics.counter_value("engine.ev.packet").unwrap_or(0);
+    let ev_timers = on.metrics.counter_value("engine.ev.timer").unwrap_or(0);
+    println!("  registry       : engine.ev.packet={ev_pkts} engine.ev.timer={ev_timers}");
+    assert!(ev_pkts > 0 && ev_timers > 0, "engine counters must be populated when metrics are on");
 
     std::fs::create_dir_all("results").expect("mkdir results");
     let json = format!(
-        "{{\n  \"microbench\": {{\n    \"pending\": {prefill},\n    \"transactions\": {transactions},\n    \"calendar_ops_per_sec\": {cal_eps:.0},\n    \"binary_heap_ops_per_sec\": {heap_eps:.0},\n    \"speedup\": {ratio:.3}\n  }},\n  \"end_to_end\": {{\n    \"pairs\": {pairs},\n    \"sim_seconds\": {sim_secs},\n    \"dispatched_events\": {dispatched},\n    \"wall_seconds\": {wall:.4},\n    \"events_per_sec\": {eps:.0},\n    \"scheduled\": {},\n    \"timers_cancelled\": {},\n    \"stale_timer_pops\": {},\n    \"queue_wheel_pushes\": {},\n    \"queue_overflow_pushes\": {},\n    \"queue_migrations\": {}\n  }}\n}}\n",
+        "{{\n  \"microbench\": {{\n    \"pending\": {prefill},\n    \"transactions\": {transactions},\n    \"calendar_ops_per_sec\": {cal_eps:.0},\n    \"binary_heap_ops_per_sec\": {heap_eps:.0},\n    \"speedup\": {ratio:.3}\n  }},\n  \"end_to_end\": {{\n    \"pairs\": {pairs},\n    \"sim_seconds\": {sim_secs},\n    \"dispatched_events\": {dispatched},\n    \"wall_seconds\": {wall:.4},\n    \"events_per_sec\": {eps:.0},\n    \"events_per_sec_metrics_off\": {:.0},\n    \"metrics_overhead_pct\": {overhead_pct:.2},\n    \"scheduled\": {},\n    \"timers_cancelled\": {},\n    \"stale_timer_pops\": {},\n    \"queue_wheel_pushes\": {},\n    \"queue_overflow_pushes\": {},\n    \"queue_migrations\": {}\n  }}\n}}\n",
+        off.eps,
         stats.scheduled,
         stats.timers_cancelled,
         stats.stale_timer_pops,
@@ -243,4 +305,32 @@ fn main() {
     );
     std::fs::write("results/engine_perf.json", json).expect("write results/engine_perf.json");
     println!("wrote results/engine_perf.json");
+
+    let mut m = manifest("engine_perf", if quick { "quick" } else { "default" }, 42);
+    m.num("pairs", pairs)
+        .num("sim_seconds", sim_secs)
+        .num("events_per_sec", format!("{eps:.0}"))
+        .num("events_per_sec_metrics_off", format!("{:.0}", off.eps))
+        .num("metrics_overhead_pct", format!("{overhead_pct:.2}"))
+        .num("calendar_ops_per_sec", format!("{cal_eps:.0}"))
+        .num("binary_heap_ops_per_sec", format!("{heap_eps:.0}"));
+    match write_manifest(m, wall, dispatched, &on.metrics) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("manifest write failed: {e}"),
+    }
+
+    if let Some(path) = trace_out() {
+        // A small traced mesh (timer records on) keeps the JSONL readable.
+        eprintln!("tracing a 4-pair mesh for {}...", path.display());
+        let traced = end_to_end(4, 1, true, 500_000);
+        match traced.trace.write_jsonl(&path) {
+            Ok(()) => eprintln!(
+                "wrote {} trace records to {} ({} dropped at cap)",
+                traced.trace.entries().len(),
+                path.display(),
+                traced.trace.truncated()
+            ),
+            Err(e) => eprintln!("trace write failed: {e}"),
+        }
+    }
 }

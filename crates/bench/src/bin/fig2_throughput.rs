@@ -2,14 +2,34 @@
 //! in Amazon with Rubis — average successful requests/second vs number
 //! of concurrent clients {2, 3, 4, 6, 10, 20, 30, 50}.
 //!
-//! Usage: `cargo run -p bench --release --bin fig2_throughput [--quick]`
+//! Alongside the figure it reports per-stage latency quantiles (HIP
+//! BEX, ESP encrypt/decrypt, TCP connect, DB service, client response)
+//! merged across each scenario's cells, and writes one run manifest per
+//! scenario under `results/`.
+//!
+//! Usage: `cargo run -p bench --release --bin fig2_throughput [--quick] [--trace-out <path>]`
 
-use bench::fig2::{run_sweep, CLIENT_COUNTS};
-use bench::report::{bar, table, write_csv};
+use bench::fig2::{run_cell, run_sweep_cells, CLIENT_COUNTS};
+use bench::report::{bar, manifest, stage_table, table, trace_out, write_csv, write_manifest};
 use netsim::SimDuration;
+use std::time::Instant;
 use websvc::Scenario;
 
+/// Protocol stages reported per scenario (absent stages are skipped —
+/// Basic has no BEX, SSL has no ESP).
+const STAGES: [&str; 8] = [
+    "hip.bex",
+    "esp.encrypt",
+    "esp.decrypt",
+    "tcp.connect",
+    "proxy.queue",
+    "web.render",
+    "db.service",
+    "client.latency",
+];
+
 fn main() {
+    let seed = 42u64;
     let quick = std::env::args().any(|a| a == "--quick");
     let (warmup, measure) = if quick {
         (SimDuration::from_secs(6), SimDuration::from_secs(6))
@@ -22,7 +42,10 @@ fn main() {
         warmup.as_secs_f64(),
         measure.as_secs_f64()
     );
-    let points = run_sweep(42, warmup, measure);
+    let wall_start = Instant::now();
+    let cells = run_sweep_cells(seed, warmup, measure);
+    let wall = wall_start.elapsed().as_secs_f64();
+    let points: Vec<_> = cells.iter().map(|c| c.point).collect();
 
     let scenarios = [Scenario::Basic, Scenario::HipLsi, Scenario::Ssl];
     let mut rows = Vec::new();
@@ -43,6 +66,29 @@ fn main() {
         eprintln!("wrote {}", path.display());
     }
 
+    // Per-stage latency quantiles, merged across each scenario's cells.
+    for &s in &scenarios {
+        let mut merged = obs::MetricsRegistry::new();
+        let mut events = 0u64;
+        for c in cells.iter().filter(|c| c.point.scenario == s) {
+            merged.merge(&c.metrics);
+            events += c.dispatched;
+        }
+        println!("per-stage latency, {} (all client counts merged):", s.label());
+        match stage_table(&merged, &STAGES) {
+            Some(t) => println!("{t}"),
+            None => println!("  (no stage histograms recorded)"),
+        }
+        let mut m = manifest("fig2_throughput", s.label(), seed);
+        m.num("warmup_secs", warmup.as_secs_f64())
+            .num("measure_secs", measure.as_secs_f64())
+            .num("client_counts", CLIENT_COUNTS.len());
+        match write_manifest(m, wall, events, &merged) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("manifest write failed: {e}"),
+        }
+    }
+
     // Terminal rendition of the figure.
     let max = points.iter().map(|p| p.throughput).fold(0.0, f64::max);
     println!("throughput (each █ ≈ {:.0} req/s):", max / 40.0);
@@ -56,4 +102,27 @@ fn main() {
     println!("\npaper (Fig. 2): Basic rises to ~250 req/s at 50 clients while HIP and");
     println!("SSL saturate in the ~150-160 range from ~20 clients on, HIP slightly");
     println!("below SSL (LSI translations). Compare shapes, not absolute values.");
+
+    if let Some(path) = trace_out() {
+        // A traced representative run (HIP, 4 clients, short window):
+        // the full sweep is too chatty to trace end to end.
+        eprintln!("tracing a representative HIP cell for {}...", path.display());
+        let cell = run_cell(
+            Scenario::HipLsi,
+            4,
+            seed,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            200_000,
+        );
+        match cell.trace.write_jsonl(&path) {
+            Ok(()) => eprintln!(
+                "wrote {} trace records to {} ({} dropped at cap)",
+                cell.trace.entries().len(),
+                path.display(),
+                cell.trace.truncated()
+            ),
+            Err(e) => eprintln!("trace write failed: {e}"),
+        }
+    }
 }

@@ -3,20 +3,25 @@
 //! LSI(Teredo) connectivity (20 echo requests for the RTT series, as in
 //! the paper).
 //!
-//! Usage: `cargo run -p bench --release --bin fig3_iperf_rtt [--quick]`
+//! Usage: `cargo run -p bench --release --bin fig3_iperf_rtt [--quick] [--trace-out <path>]`
 
-use bench::fig3::{run_all, Fig3Mode};
-use bench::report::{bar, table, write_csv};
+use bench::fig3::{rtt_obs, run_all_cells, Fig3Mode};
+use bench::report::{bar, manifest, table, trace_out, write_csv, write_manifest};
 use netsim::SimDuration;
+use std::time::Instant;
 
 fn main() {
+    let seed = 42u64;
     let quick = std::env::args().any(|a| a == "--quick");
     let duration = if quick { SimDuration::from_secs(3) } else { SimDuration::from_secs(10) };
     eprintln!(
         "fig3: iperf ({}s transfer) + 20-ping RTT across 6 modes (parallel)...",
         duration.as_secs_f64()
     );
-    let points = run_all(42, duration, 20);
+    let wall_start = Instant::now();
+    let cells = run_all_cells(seed, duration, 20);
+    let wall = wall_start.elapsed().as_secs_f64();
+    let points: Vec<_> = cells.iter().map(|c| c.point).collect();
 
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -34,6 +39,17 @@ fn main() {
     if let Ok(path) = write_csv("fig3_iperf_rtt", &["mode", "iperf_mbits", "rtt_ms", "pings"], &rows) {
         eprintln!("wrote {}", path.display());
     }
+    for c in &cells {
+        let mut m = manifest("fig3_iperf_rtt", c.point.mode.label(), seed);
+        m.num("iperf_secs", duration.as_secs_f64())
+            .num("ping_count", 20)
+            .num("iperf_mbits", format!("{:.2}", c.point.mbits))
+            .num("rtt_ms", format!("{:.3}", c.point.rtt_ms));
+        match write_manifest(m, wall, c.dispatched, &c.metrics) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("manifest write failed: {e}"),
+        }
+    }
 
     let max_bw = points.iter().map(|p| p.mbits).fold(0.0, f64::max);
     let max_rtt = points.iter().map(|p| p.rtt_ms).fold(0.0, f64::max);
@@ -50,4 +66,18 @@ fn main() {
     println!("overhead, while Teredo has the worst latency\" — the Teredo modes pay the");
     println!("external relay detour in both bandwidth and RTT.");
     let _ = Fig3Mode::ALL;
+
+    if let Some(path) = trace_out() {
+        eprintln!("tracing an LSI(IPv4) RTT run for {}...", path.display());
+        let (_, _, _, trace) = rtt_obs(Fig3Mode::LsiIpv4, seed ^ 1, 20, 200_000);
+        match trace.write_jsonl(&path) {
+            Ok(()) => eprintln!(
+                "wrote {} trace records to {} ({} dropped at cap)",
+                trace.entries().len(),
+                path.display(),
+                trace.truncated()
+            ),
+            Err(e) => eprintln!("trace write failed: {e}"),
+        }
+    }
 }

@@ -3,7 +3,11 @@
 //! contract on every one. Pass a seed argument to re-run one world with
 //! packet tracing.
 //!
-//! Usage: `cargo run -p bench --release --bin tcploss_scan [seed]`
+//! Usage: `cargo run -p bench --release --bin tcploss_scan [seed] [--trace-out <path>]`
+//!
+//! Writes a run manifest to `results/tcploss_scan-scan.json`; with a
+//! debug seed, `--trace-out` exports that run's typed trace as JSONL.
+use bench::report::{manifest, trace_out, write_manifest};
 use netsim::host::{App, AppEvent, Host, HostApi};
 use netsim::link::{Endpoint, LinkParams};
 use netsim::packet::v4;
@@ -40,6 +44,12 @@ impl App for Receiver {
 
 fn main() {
     let debug_seed: Option<u64> = std::env::args().nth(1).and_then(|a| a.parse().ok());
+    let trace_path = trace_out();
+    let wall_start = std::time::Instant::now();
+    let mut scanned = 0u64;
+    let mut mismatches = 0u64;
+    let mut total_events = 0u64;
+    let mut total_metrics = obs::MetricsRegistry::new();
     for seed in debug_seed.map(|s| s..s+1).unwrap_or(0..2000u64) {
         let data: Vec<u8> = (0..5000u32).map(|i| ((i * 7 + seed as u32) % 251) as u8).collect();
         let mut sim = Sim::new(seed);
@@ -58,12 +68,26 @@ fn main() {
         let got = &sim.world.node::<Host>(b).unwrap().app::<Receiver>(recv).unwrap().got;
         if debug_seed.is_some() {
             for e in sim.trace.entries() {
-                if e.detail.contains("proto 6") || e.kind == netsim::trace::TraceKind::Drop {
-                    println!("{:>10.4} n{} {:?} {}", e.at.as_secs_f64(), e.node.0, e.kind, e.detail);
+                let tcp = matches!(e.data.pkt(), Some(p) if p.proto == 6);
+                if tcp || e.kind == netsim::trace::TraceKind::Drop {
+                    println!("{:>10.4} n{} {:?} {}", e.at.as_secs_f64(), e.node.0, e.kind, e.detail());
+                }
+            }
+            if let Some(path) = &trace_path {
+                match sim.trace.write_jsonl(path) {
+                    Ok(()) => eprintln!(
+                        "wrote {} trace records to {} ({} dropped at cap)",
+                        sim.trace.entries().len(),
+                        path.display(),
+                        sim.trace.truncated()
+                    ),
+                    Err(e) => eprintln!("trace write failed: {e}"),
                 }
             }
         }
+        scanned += 1;
         if got != &data {
+            mismatches += 1;
             let prefix = got.len() <= data.len() && data[..got.len()] == got[..];
             println!("seed {seed}: MISMATCH got {} of {} bytes, prefix_ok={prefix}", got.len(), data.len());
             if !prefix {
@@ -71,6 +95,14 @@ fn main() {
                 println!("  first differing byte at {:?}", first_bad);
             }
         }
+        total_events += sim.stats().dispatched;
+        total_metrics.merge(&sim.take_metrics());
     }
     println!("scan done");
+    let mut m = manifest("tcploss_scan", "scan", debug_seed.unwrap_or(0));
+    m.num("worlds", scanned).num("mismatches", mismatches);
+    match write_manifest(m, wall_start.elapsed().as_secs_f64(), total_events, &total_metrics) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("manifest write failed: {e}"),
+    }
 }

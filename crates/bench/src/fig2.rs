@@ -29,6 +29,57 @@ pub struct Fig2Point {
     pub mean_latency_ms: f64,
 }
 
+/// One cell plus its observability outputs: the metrics registry the
+/// simulation filled (per-stage latency histograms, drop counters), the
+/// dispatched-event count, and the trace (empty unless `trace_cap > 0`).
+pub struct Fig2Cell {
+    /// The measured point.
+    pub point: Fig2Point,
+    /// The cell's full metrics registry (mergeable across cells).
+    pub metrics: obs::MetricsRegistry,
+    /// Events dispatched by this cell's simulation.
+    pub dispatched: u64,
+    /// Typed trace of the run (disabled unless requested).
+    pub trace: netsim::trace::Trace,
+}
+
+/// Runs one (scenario, clients) cell, returning metrics and (when
+/// `trace_cap > 0`) the typed trace alongside the measured point.
+pub fn run_cell(
+    scenario: Scenario,
+    clients: usize,
+    seed: u64,
+    warmup: SimDuration,
+    measure: SimDuration,
+    trace_cap: usize,
+) -> Fig2Cell {
+    let cfg = RubisConfig::fig2(scenario, seed);
+    let (users, items) = (cfg.users, cfg.items);
+    let mut dep = deploy_rubis(cfg);
+    if trace_cap > 0 {
+        dep.topo.sim.trace = netsim::trace::Trace::enabled(trace_cap);
+    }
+    let gen_host = dep.topo.add_external_host("jmeter", Flavor::Dedicated);
+    let mut app = JmeterApp::new(dep.frontend, clients, WorkloadMix::default(), users, items);
+    app.measure_from = SimTime::ZERO + warmup;
+    let idx = dep.topo.host_mut(gen_host).add_app(Box::new(app));
+    dep.topo.sim.run_until(SimTime::ZERO + warmup + measure);
+    let gen = dep.topo.host(gen_host).app::<JmeterApp>(idx).expect("generator");
+    let point = Fig2Point {
+        scenario,
+        clients,
+        throughput: gen.completed as f64 / measure.as_secs_f64(),
+        mean_latency_ms: gen.latency.mean(),
+    };
+    let dispatched = dep.topo.sim.stats().dispatched;
+    Fig2Cell {
+        point,
+        metrics: dep.topo.sim.take_metrics(),
+        dispatched,
+        trace: std::mem::replace(&mut dep.topo.sim.trace, netsim::trace::Trace::disabled()),
+    }
+}
+
 /// Runs one (scenario, clients) cell.
 pub fn run_point(
     scenario: Scenario,
@@ -37,21 +88,7 @@ pub fn run_point(
     warmup: SimDuration,
     measure: SimDuration,
 ) -> Fig2Point {
-    let cfg = RubisConfig::fig2(scenario, seed);
-    let (users, items) = (cfg.users, cfg.items);
-    let mut dep = deploy_rubis(cfg);
-    let gen_host = dep.topo.add_external_host("jmeter", Flavor::Dedicated);
-    let mut app = JmeterApp::new(dep.frontend, clients, WorkloadMix::default(), users, items);
-    app.measure_from = SimTime::ZERO + warmup;
-    let idx = dep.topo.host_mut(gen_host).add_app(Box::new(app));
-    dep.topo.sim.run_until(SimTime::ZERO + warmup + measure);
-    let gen = dep.topo.host(gen_host).app::<JmeterApp>(idx).expect("generator");
-    Fig2Point {
-        scenario,
-        clients,
-        throughput: gen.completed as f64 / measure.as_secs_f64(),
-        mean_latency_ms: gen.latency.mean(),
-    }
+    run_cell(scenario, clients, seed, warmup, measure, 0).point
 }
 
 /// Runs the full sweep, parallelized across cells (each cell is an
@@ -59,12 +96,18 @@ pub fn run_point(
 /// uses threads, never inside a run). Output is ordered by
 /// (scenario, clients), matching the cell grid.
 pub fn run_sweep(seed: u64, warmup: SimDuration, measure: SimDuration) -> Vec<Fig2Point> {
+    run_sweep_cells(seed, warmup, measure).into_iter().map(|c| c.point).collect()
+}
+
+/// Like [`run_sweep`] but keeps each cell's metrics registry and event
+/// count, so the driver can merge per-scenario stage histograms.
+pub fn run_sweep_cells(seed: u64, warmup: SimDuration, measure: SimDuration) -> Vec<Fig2Cell> {
     let scenarios = [Scenario::Basic, Scenario::HipLsi, Scenario::Ssl];
     let cells: Vec<(Scenario, usize)> = scenarios
         .iter()
         .flat_map(|&s| CLIENT_COUNTS.iter().map(move |&c| (s, c)))
         .collect();
-    crate::sweep::par_sweep(&cells, |&(s, c)| run_point(s, c, seed, warmup, measure))
+    crate::sweep::par_sweep(&cells, |&(s, c)| run_cell(s, c, seed, warmup, measure, 0))
 }
 
 #[cfg(test)]

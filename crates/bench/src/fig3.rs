@@ -177,8 +177,9 @@ fn build(mode: Fig3Mode, seed: u64) -> Fig3World {
     Fig3World { topo, a, b, target_b }
 }
 
-/// Measures iperf goodput for `mode` over `duration` of transfer.
-pub fn iperf(mode: Fig3Mode, seed: u64, duration: SimDuration) -> f64 {
+/// Measures iperf goodput for `mode` over `duration` of transfer,
+/// returning the run's metrics registry and dispatched-event count too.
+pub fn iperf_obs(mode: Fig3Mode, seed: u64, duration: SimDuration) -> (f64, obs::MetricsRegistry, u64) {
     let mut w = build(mode, seed);
     let srv_idx = w.topo.host_mut(w.b).add_app(Box::new(IperfServerApp::new(IPERF_PORT)));
     let mut client = IperfClientApp::new((w.target_b, IPERF_PORT), duration);
@@ -189,27 +190,73 @@ pub fn iperf(mode: Fig3Mode, seed: u64, duration: SimDuration) -> f64 {
     w.topo.sim.run_until(deadline);
     let srv = w.topo.host(w.b).app::<IperfServerApp>(srv_idx).expect("server");
     assert!(srv.bytes > 0, "{mode:?}: no bytes received");
-    srv.mbits_per_sec()
+    let mbits = srv.mbits_per_sec();
+    let dispatched = w.topo.sim.stats().dispatched;
+    (mbits, w.topo.sim.take_metrics(), dispatched)
 }
 
-/// Measures mean ICMP RTT for `mode` over `count` echoes.
-pub fn rtt(mode: Fig3Mode, seed: u64, count: u16) -> (f64, u16) {
+/// Measures iperf goodput for `mode` over `duration` of transfer.
+pub fn iperf(mode: Fig3Mode, seed: u64, duration: SimDuration) -> f64 {
+    iperf_obs(mode, seed, duration).0
+}
+
+/// Measures mean ICMP RTT for `mode` over `count` echoes, returning the
+/// run's metrics, dispatched-event count, and (when `trace_cap > 0`)
+/// the typed trace.
+pub fn rtt_obs(
+    mode: Fig3Mode,
+    seed: u64,
+    count: u16,
+    trace_cap: usize,
+) -> ((f64, u16), obs::MetricsRegistry, u64, netsim::trace::Trace) {
     let mut w = build(mode, seed);
+    if trace_cap > 0 {
+        w.topo.sim.trace = netsim::trace::Trace::enabled(trace_cap);
+    }
     let mut ping = PingApp::new(w.target_b, count, SimDuration::from_millis(200), 7);
     ping.start_delay = SimDuration::from_secs(2);
     let idx = w.topo.host_mut(w.a).add_app(Box::new(ping));
     w.topo.sim.run_until(SimTime::ZERO + SimDuration::from_secs(5) + SimDuration::from_millis(200 * count as u64));
     let app = w.topo.host(w.a).app::<PingApp>(idx).expect("ping");
-    (app.rtts.mean(), app.received)
+    let out = (app.rtts.mean(), app.received);
+    let dispatched = w.topo.sim.stats().dispatched;
+    let trace = std::mem::replace(&mut w.topo.sim.trace, netsim::trace::Trace::disabled());
+    (out, w.topo.sim.take_metrics(), dispatched, trace)
+}
+
+/// Measures mean ICMP RTT for `mode` over `count` echoes.
+pub fn rtt(mode: Fig3Mode, seed: u64, count: u16) -> (f64, u16) {
+    rtt_obs(mode, seed, count, 0).0
+}
+
+/// One Figure 3 bar with its observability outputs (iperf and RTT runs
+/// merged into a single registry).
+pub struct Fig3Cell {
+    /// The measured bar pair.
+    pub point: Fig3Point,
+    /// Merged metrics from the iperf and RTT simulations.
+    pub metrics: obs::MetricsRegistry,
+    /// Combined dispatched-event count of both simulations.
+    pub dispatched: u64,
 }
 
 /// Runs the complete Figure 3 (both series, all modes, in parallel).
 /// Output is in `Fig3Mode::ALL` order.
 pub fn run_all(seed: u64, iperf_duration: SimDuration, ping_count: u16) -> Vec<Fig3Point> {
+    run_all_cells(seed, iperf_duration, ping_count).into_iter().map(|c| c.point).collect()
+}
+
+/// Like [`run_all`] but keeps each mode's merged metrics registry.
+pub fn run_all_cells(seed: u64, iperf_duration: SimDuration, ping_count: u16) -> Vec<Fig3Cell> {
     crate::sweep::par_sweep(&Fig3Mode::ALL, |&mode| {
-        let mbits = iperf(mode, seed, iperf_duration);
-        let (rtt_ms, received) = rtt(mode, seed ^ 1, ping_count);
-        Fig3Point { mode, mbits, rtt_ms, pings_received: received }
+        let (mbits, mut metrics, d1) = iperf_obs(mode, seed, iperf_duration);
+        let ((rtt_ms, received), rtt_metrics, d2, _) = rtt_obs(mode, seed ^ 1, ping_count, 0);
+        metrics.merge(&rtt_metrics);
+        Fig3Cell {
+            point: Fig3Point { mode, mbits, rtt_ms, pings_received: received },
+            metrics,
+            dispatched: d1 + d2,
+        }
     })
 }
 

@@ -32,31 +32,73 @@ pub struct TabRtRow {
     pub p99_ms: f64,
 }
 
-/// Runs the open-loop response-time measurement for one scenario.
-pub fn run(scenario: Scenario, rate: f64, seed: u64, warmup: SimDuration, measure: SimDuration) -> TabRtRow {
+/// One scenario's row plus observability outputs: the simulation's
+/// metrics registry, its dispatched-event count, and the trace (empty
+/// unless `trace_cap > 0`).
+pub struct TabRtCell {
+    /// The measured row.
+    pub row: TabRtRow,
+    /// The run's full metrics registry.
+    pub metrics: obs::MetricsRegistry,
+    /// Events dispatched by this run's simulation.
+    pub dispatched: u64,
+    /// Typed trace of the run (disabled unless requested).
+    pub trace: netsim::trace::Trace,
+}
+
+/// Runs the open-loop response-time measurement for one scenario,
+/// keeping the metrics registry and (when `trace_cap > 0`) the trace.
+pub fn run_cell(
+    scenario: Scenario,
+    rate: f64,
+    seed: u64,
+    warmup: SimDuration,
+    measure: SimDuration,
+    trace_cap: usize,
+) -> TabRtCell {
     let cfg = RubisConfig::tab_rt(scenario, seed);
     let (users, items) = (cfg.users, cfg.items);
     let mut dep = deploy_rubis(cfg);
+    if trace_cap > 0 {
+        dep.topo.sim.trace = netsim::trace::Trace::enabled(trace_cap);
+    }
     let gen_host = dep.topo.add_external_host("httperf", Flavor::Dedicated);
     let mut app = HttperfApp::new(dep.frontend, rate, WorkloadMix::read_only(), users, items);
     app.measure_from = SimTime::ZERO + warmup;
     let idx = dep.topo.host_mut(gen_host).add_app(Box::new(app));
     dep.topo.sim.run_until(SimTime::ZERO + warmup + measure);
     let gen = dep.topo.host(gen_host).app::<HttperfApp>(idx).expect("generator");
-    TabRtRow {
+    let row = TabRtRow {
         scenario,
         completed: gen.completed,
         mean_ms: gen.latency.mean(),
         stddev_ms: gen.latency.stddev(),
         p99_ms: gen.latency.percentile(99.0),
+    };
+    let dispatched = dep.topo.sim.stats().dispatched;
+    TabRtCell {
+        row,
+        metrics: dep.topo.sim.take_metrics(),
+        dispatched,
+        trace: std::mem::replace(&mut dep.topo.sim.trace, netsim::trace::Trace::disabled()),
     }
+}
+
+/// Runs the open-loop response-time measurement for one scenario.
+pub fn run(scenario: Scenario, rate: f64, seed: u64, warmup: SimDuration, measure: SimDuration) -> TabRtRow {
+    run_cell(scenario, rate, seed, warmup, measure, 0).row
 }
 
 /// Runs all three scenarios (in parallel; independent simulations).
 /// Output is in scenario order: Basic, HipLsi, Ssl.
 pub fn run_all(rate: f64, seed: u64, warmup: SimDuration, measure: SimDuration) -> Vec<TabRtRow> {
+    run_all_cells(rate, seed, warmup, measure).into_iter().map(|c| c.row).collect()
+}
+
+/// Like [`run_all`] but keeps each scenario's metrics and event count.
+pub fn run_all_cells(rate: f64, seed: u64, warmup: SimDuration, measure: SimDuration) -> Vec<TabRtCell> {
     let scenarios = [Scenario::Basic, Scenario::HipLsi, Scenario::Ssl];
-    crate::sweep::par_sweep(&scenarios, |&s| run(s, rate, seed, warmup, measure))
+    crate::sweep::par_sweep(&scenarios, |&s| run_cell(s, rate, seed, warmup, measure, 0))
 }
 
 #[cfg(test)]

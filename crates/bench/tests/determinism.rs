@@ -19,12 +19,18 @@ struct RunFingerprint {
     stats: SimStats,
     final_time_ns: u64,
     trace: String,
+    metrics_json: String,
 }
 
 fn smoke_run(scenario: Scenario, seed: u64) -> RunFingerprint {
+    smoke_run_metrics(scenario, seed, true)
+}
+
+fn smoke_run_metrics(scenario: Scenario, seed: u64, metrics_on: bool) -> RunFingerprint {
     let cfg = RubisConfig::fig2(scenario, seed);
     let (users, items) = (cfg.users, cfg.items);
     let mut dep = deploy_rubis(cfg);
+    dep.topo.sim.set_metrics_enabled(metrics_on);
     dep.topo.sim.trace = Trace::enabled(200_000);
     let gen_host = dep.topo.add_external_host("jmeter", Flavor::Dedicated);
     let app = JmeterApp::new(dep.frontend, 16, WorkloadMix::default(), users, items);
@@ -37,6 +43,7 @@ fn smoke_run(scenario: Scenario, seed: u64) -> RunFingerprint {
         stats: dep.topo.sim.stats(),
         final_time_ns: dep.topo.sim.now().as_nanos(),
         trace: dep.topo.sim.trace.dump(),
+        metrics_json: dep.topo.sim.metrics.to_json(),
     }
 }
 
@@ -65,6 +72,27 @@ fn same_seed_same_run_basic() {
     assert_eq!(a.stats, b.stats);
     assert_eq!(a.final_time_ns, b.final_time_ns);
     assert_eq!(a.trace, b.trace);
+}
+
+#[test]
+fn metrics_never_perturb_the_run() {
+    // The metrics registry must observe, never steer: the same seed
+    // with metrics on and off must give identical final stats and the
+    // identical trace sequence, and the metrics dump itself must be
+    // reproducible across two metrics-on runs.
+    let on = smoke_run_metrics(Scenario::HipLsi, 7, true);
+    let off = smoke_run_metrics(Scenario::HipLsi, 7, false);
+    assert_eq!(on.completed, off.completed);
+    assert_eq!(on.errors, off.errors);
+    assert_eq!(on.stats, off.stats, "metrics on/off changed the event schedule");
+    assert_eq!(on.final_time_ns, off.final_time_ns);
+    assert_eq!(on.trace, off.trace, "metrics on/off changed the trace sequence");
+    // On actually recorded something; off recorded nothing.
+    assert!(on.metrics_json.contains("tcp.connect"), "metrics-on run populated stage histograms");
+    assert!(!off.metrics_json.contains("tcp.connect"), "disabled registry stayed empty");
+    // And the dump itself is deterministic.
+    let on2 = smoke_run_metrics(Scenario::HipLsi, 7, true);
+    assert_eq!(on.metrics_json, on2.metrics_json, "metrics dump must be reproducible");
 }
 
 #[test]

@@ -125,6 +125,7 @@ impl CloudTopology {
             next_host: 2,
             link_params: LinkParams::datacenter(),
         });
+        self.sim.metrics.set_gauge_name("cloud.regions", self.clouds.len() as i64);
         CloudId(idx)
     }
 
@@ -155,6 +156,8 @@ impl CloudTopology {
         // Patch the link endpoint with the real iface index.
         self.patch_link_endpoint(link, router, iface);
         self.sim.world.node_mut::<Host>(node).expect("host").core.add_iface(link, vec![addr]);
+        let total: i64 = self.clouds.iter().map(|c| (c.next_host - 2) as i64).sum();
+        self.sim.metrics.set_gauge_name("cloud.vms", total);
         VmHandle { node, addr, link, cloud: Some(cloud) }
     }
 
@@ -258,6 +261,7 @@ impl CloudTopology {
             host.core.rebind_iface(0, link);
             host.core.replace_iface_addrs(0, vec![new_addr]);
         }
+        self.sim.metrics.add_name("cloud.migrations", 1);
         VmHandle { node: vm.node, addr: new_addr, link, cloud: Some(to) }
     }
 

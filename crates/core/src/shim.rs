@@ -165,6 +165,11 @@ struct Association {
     /// Outbound SA keys derived at I2 time, installed when R2 arrives
     /// with the peer's SPI.
     pending_out_keys: Option<([u8; 16], [u8; 32])>,
+    /// When the BEX started (I1 sent), for the `hip.bex` latency span.
+    bex_started: SimTime,
+    /// Per-SA packet counters, registered when the SA is installed.
+    ctr_esp_out: Option<obs::CtrId>,
+    ctr_esp_in: Option<obs::CtrId>,
 }
 
 /// A pre-computed R1 (signature covers the zero-receiver form).
@@ -407,6 +412,7 @@ impl HipShim {
         self.stats.bex_initiated += 1;
         let mut assoc = Association::new(peer, Role::Initiator, src, dst);
         assoc.state = AssocState::I1Sent;
+        assoc.bex_started = api.now();
         if let Some(p) = first_packet {
             assoc.queued.push(p);
         }
@@ -422,6 +428,7 @@ impl HipShim {
     fn on_i1(&mut self, api: &mut ShimApi, pkt: &HipPacket, wire: &Packet) {
         if self.firewall.check(&pkt.sender_hit) == Action::Deny {
             self.stats.drops_firewall += 1;
+            api.metrics().add_name("hip.drop.firewall", 1);
             return;
         }
         if self.r1_pool.is_empty() {
@@ -475,6 +482,7 @@ impl HipShim {
         // Solve the puzzle (really).
         let j0 = api.random_u64();
         let (j, attempts) = puzzle::solve(i, k, &self.hit(), &peer, j0);
+        api.metrics().observe_name("hip.puzzle.attempts", attempts);
 
         // DH: generate our ephemeral pair and compute the shared secret.
         let dh = DhKeyPair::generate(group, api.rng());
@@ -524,6 +532,9 @@ impl HipShim {
         assoc.dh = Some(dh);
         // Inbound SA can be installed now (peer will use our SPI).
         assoc.sa_in = Some(EspSa::new(local_spi, in_keys.0, in_keys.1, peer.to_ip(), my_hit.to_ip()));
+        if api.metrics().is_enabled() {
+            assoc.ctr_esp_in = Some(api.metrics().counter(&format!("esp.rx{{spi={local_spi:08x}}}")));
+        }
         // Outbound SA waits for the peer's SPI in R2; stash keys in the
         // assoc via a placeholder SA created on R2 using derived keys.
         assoc.pending_out_keys = Some(out_keys);
@@ -536,6 +547,7 @@ impl HipShim {
         let peer = pkt.sender_hit;
         if self.firewall.check(&peer) == Action::Deny {
             self.stats.drops_firewall += 1;
+            api.metrics().add_name("hip.drop.firewall", 1);
             return;
         }
         let Some((k, opaque, i, j)) = pkt.solution() else { return };
@@ -592,6 +604,10 @@ impl HipShim {
         assoc.peer_hi = Some(hi);
         assoc.sa_in = Some(EspSa::new(local_spi, in_keys.0, in_keys.1, peer.to_ip(), self.hit().to_ip()));
         assoc.sa_out = Some(EspSa::new(peer_spi, out_keys.0, out_keys.1, self.hit().to_ip(), peer.to_ip()));
+        if api.metrics().is_enabled() {
+            assoc.ctr_esp_in = Some(api.metrics().counter(&format!("esp.rx{{spi={local_spi:08x}}}")));
+            assoc.ctr_esp_out = Some(api.metrics().counter(&format!("esp.tx{{spi={peer_spi:08x}}}")));
+        }
         self.spi_in.insert(local_spi, peer);
         // Make sure the peer has an LSI for legacy traffic.
         self.lsi.lsi_for(peer);
@@ -625,6 +641,12 @@ impl HipShim {
         assoc.state = AssocState::Established;
         if let Some(rtx) = assoc.rtx.take() {
             api.cancel_timer(rtx.engine_timer);
+        }
+        // The full base exchange span, I1 sent → R2 verified.
+        let bex_ns = api.now().as_nanos().saturating_sub(assoc.bex_started.as_nanos());
+        if api.metrics().is_enabled() {
+            api.metrics().observe_name("hip.bex", bex_ns);
+            assoc.ctr_esp_out = Some(api.metrics().counter(&format!("esp.tx{{spi={peer_spi:08x}}}")));
         }
         self.lsi.lsi_for(peer);
         self.stats.bex_completed += 1;
@@ -801,6 +823,13 @@ impl HipShim {
         let delay = api.charge_cpu(work) + extra_delay;
         self.stats.esp_out += 1;
         self.stats.esp_bytes_out += payload_len as u64;
+        if let Some(c) = assoc.ctr_esp_out {
+            api.metrics().add(c, 1);
+        }
+        if api.metrics().is_enabled() {
+            api.metrics().observe_name("esp.encrypt", work.as_nanos());
+            api.metrics().observe_name("esp.out_bytes", payload_len as u64);
+        }
         api.send_wire(delay, wire);
     }
 
@@ -811,6 +840,7 @@ impl HipShim {
         };
         if self.firewall.check(&peer) == Action::Deny {
             self.stats.drops_firewall += 1;
+            api.metrics().add_name("hip.drop.firewall", 1);
             return;
         }
         let costs = self.config.costs;
@@ -838,10 +868,23 @@ impl HipShim {
                 let delay = api.charge_cpu(work);
                 self.stats.esp_in += 1;
                 self.stats.esp_bytes_in += len as u64;
+                if let Some(c) = assoc.ctr_esp_in {
+                    api.metrics().add(c, 1);
+                }
+                if api.metrics().is_enabled() {
+                    api.metrics().observe_name("esp.decrypt", work.as_nanos());
+                    api.metrics().observe_name("esp.in_bytes", len as u64);
+                }
                 api.deliver_upper(delay, inner);
             }
-            Err(EspError::Replay) => self.stats.drops_replay += 1,
-            Err(_) => self.stats.drops_auth += 1,
+            Err(EspError::Replay) => {
+                self.stats.drops_replay += 1;
+                api.metrics().add_name("esp.drop.replay", 1);
+            }
+            Err(_) => {
+                self.stats.drops_auth += 1;
+                api.metrics().add_name("esp.drop.auth", 1);
+            }
         }
     }
 
@@ -923,6 +966,9 @@ impl Association {
             close_nonce: None,
             peer_hi: None,
             pending_out_keys: None,
+            bex_started: SimTime::ZERO,
+            ctr_esp_out: None,
+            ctr_esp_in: None,
         }
     }
 }

@@ -299,11 +299,11 @@ fn attacker_observing_wire_learns_nothing_plaintext() {
     w.sim.run_until(SimTime(10_000_000_000));
     // Everything the mitm forwarded between the hosts was HIP/ESP.
     for e in w.sim.trace.entries() {
-        if e.kind == netsim::trace::TraceKind::Tx {
+        if let netsim::trace::TraceData::Tx(p) = &e.data {
             assert!(
-                e.detail.contains("proto 50") || e.detail.contains("proto 139"),
+                p.proto == 50 || p.proto == 139,
                 "cleartext on the attacker's wire: {}",
-                e.detail
+                e.detail()
             );
         }
     }

@@ -178,13 +178,13 @@ fn no_plaintext_on_the_wire_with_hip() {
     // or ESP (50) — never a raw TCP segment.
     let mut saw_esp = false;
     for e in net.sim.trace.entries() {
-        if e.kind == netsim::trace::TraceKind::Tx {
+        if let netsim::trace::TraceData::Tx(p) = &e.data {
             assert!(
-                e.detail.contains("proto 139") || e.detail.contains("proto 50"),
+                p.proto == 139 || p.proto == 50,
                 "unexpected cleartext wire packet: {}",
-                e.detail
+                e.detail()
             );
-            saw_esp |= e.detail.contains("proto 50");
+            saw_esp |= p.proto == 50;
         }
     }
     assert!(saw_esp);
@@ -539,9 +539,11 @@ fn cross_family_handover_v4_to_v6() {
         .entries()
         .iter()
         .filter(|e| {
-            e.kind == netsim::trace::TraceKind::Tx
-                && e.detail.contains("proto 50")
-                && e.detail.contains("fd00::")
+            if let netsim::trace::TraceData::Tx(p) = &e.data {
+                p.proto == 50 && p.dst.to_string().starts_with("fd00:")
+            } else {
+                false
+            }
         })
         .count();
     assert!(v6_esp > 0, "ESP packets with IPv6 locators observed");

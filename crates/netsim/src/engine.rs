@@ -21,10 +21,38 @@ use crate::link::{Endpoint, Link, LinkId, LinkParams, NodeId, TxResult};
 use crate::packet::Packet;
 use crate::sched::CalendarQueue;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Trace, TraceKind};
+use crate::trace::{PktInfo, Trace, TraceData};
+use obs::{CtrId, HistId, MetricsRegistry};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::any::Any;
+
+/// Pre-registered handles for the engine's own metrics, so the
+/// dispatch fast path bumps an index instead of hashing a name.
+#[derive(Clone, Copy)]
+pub(crate) struct EngineIds {
+    ev_packet: CtrId,
+    ev_timer: CtrId,
+    ev_linktx: CtrId,
+    pkt_bytes: HistId,
+    link_drops: CtrId,
+}
+
+impl EngineIds {
+    fn register(m: &mut MetricsRegistry) -> Self {
+        EngineIds {
+            ev_packet: m.counter("engine.ev.packet"),
+            ev_timer: m.counter("engine.ev.timer"),
+            ev_linktx: m.counter("engine.ev.linktx"),
+            pkt_bytes: m.hist("engine.pkt.bytes"),
+            link_drops: m.counter("link.drops"),
+        }
+    }
+}
+
+fn pkt_info(pkt: &Packet) -> PktInfo {
+    PktInfo { src: pkt.src, dst: pkt.dst, proto: pkt.protocol(), len: pkt.wire_len() as u32 }
+}
 
 /// A timer registration: the node-local `owner` routes the expiry to the
 /// right sub-layer, `token` is owner-defined.
@@ -57,6 +85,14 @@ pub enum TimerOwner {
 pub struct TimerToken {
     slot: u32,
     gen: u32,
+}
+
+impl TimerToken {
+    /// Opaque numeric identity (slot and generation packed together),
+    /// used to correlate timer records in traces.
+    pub fn id(self) -> u64 {
+        ((self.slot as u64) << 32) | self.gen as u64
+    }
 }
 
 /// Slot table backing [`TimerToken`]: `gens[slot]` is the live
@@ -219,6 +255,8 @@ pub struct Ctx<'a> {
     trace: &'a mut Trace,
     slots: &'a mut TimerSlots,
     stats: &'a mut SimStats,
+    metrics: &'a mut MetricsRegistry,
+    ids: EngineIds,
     emitted: Vec<(SimTime, Event)>,
 }
 
@@ -231,14 +269,14 @@ impl Ctx<'_> {
         let jitter_draw: f64 = self.rng.random();
         match l.transmit(self.node, pkt.wire_len(), self.now, loss_draw, jitter_draw) {
             TxResult::Deliver { to, at } => {
-                self.trace.record(self.now, self.node, TraceKind::Tx, || {
-                    format!("{} -> {} proto {} len {}", pkt.src, pkt.dst, pkt.protocol(), pkt.wire_len())
-                });
+                self.trace.record(self.now, self.node, || TraceData::Tx(pkt_info(&pkt)));
                 self.emitted.push((at, Event::PacketArrive { node: to.node, iface: to.iface, pkt }));
             }
             TxResult::Dropped => {
-                self.trace.record(self.now, self.node, TraceKind::Drop, || {
-                    format!("link drop {} -> {}", pkt.src, pkt.dst)
+                self.metrics.inc(self.ids.link_drops);
+                self.trace.record(self.now, self.node, || TraceData::Drop {
+                    pkt: Some(pkt_info(&pkt)),
+                    reason: "link drop".to_string(),
                 });
             }
         }
@@ -289,6 +327,11 @@ impl Ctx<'_> {
         let was_live = self.slots.retire(token);
         if was_live {
             self.stats.timers_cancelled += 1;
+            if self.trace.timers_enabled() {
+                self.trace.record(self.now, self.node, || TraceData::TimerCancel {
+                    token: token.id(),
+                });
+            }
         }
         was_live
     }
@@ -315,12 +358,30 @@ impl Ctx<'_> {
 
     /// Records a state-change trace entry.
     pub fn trace_state(&mut self, detail: impl FnOnce() -> String) {
-        self.trace.record(self.now, self.node, TraceKind::State, detail);
+        self.trace.record(self.now, self.node, || TraceData::State { detail: detail() });
     }
 
-    /// Records a drop trace entry.
+    /// Records a drop trace entry (no packet in hand; see
+    /// [`Ctx::trace_drop_pkt`] when the packet is known).
     pub fn trace_drop(&mut self, detail: impl FnOnce() -> String) {
-        self.trace.record(self.now, self.node, TraceKind::Drop, detail);
+        self.trace.record(self.now, self.node, || TraceData::Drop { pkt: None, reason: detail() });
+    }
+
+    /// Records a drop trace entry carrying the dropped packet's
+    /// identity, so harnesses can filter drops by protocol/address.
+    pub fn trace_drop_pkt(&mut self, pkt: &Packet, reason: impl FnOnce() -> String) {
+        if self.trace.is_enabled() {
+            let info = pkt_info(pkt);
+            self.trace
+                .record(self.now, self.node, || TraceData::Drop { pkt: Some(info), reason: reason() });
+        }
+    }
+
+    /// The metrics registry (counters, gauges, histograms). Recording
+    /// is a no-op behind one branch when metrics are disabled, and
+    /// never perturbs the event schedule or RNG.
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        self.metrics
     }
 }
 
@@ -380,6 +441,12 @@ pub struct Sim {
     rng: StdRng,
     /// Trace buffer (disabled by default).
     pub trace: Trace,
+    /// Metrics registry (enabled by default; see
+    /// [`Sim::set_metrics_enabled`]). Observations never perturb the
+    /// event schedule or RNG, so toggling this leaves runs
+    /// bit-identical.
+    pub metrics: MetricsRegistry,
+    engine_ids: EngineIds,
     started: bool,
     slots: TimerSlots,
     stats: SimStats,
@@ -391,6 +458,8 @@ pub struct Sim {
 impl Sim {
     /// Creates a simulator with a deterministic seed.
     pub fn new(seed: u64) -> Self {
+        let mut metrics = MetricsRegistry::new();
+        let engine_ids = EngineIds::register(&mut metrics);
         Sim {
             now: SimTime::ZERO,
             seq: 0,
@@ -398,11 +467,28 @@ impl Sim {
             world: World::default(),
             rng: StdRng::seed_from_u64(seed),
             trace: Trace::disabled(),
+            metrics,
+            engine_ids,
             started: false,
             slots: TimerSlots::default(),
             stats: SimStats::default(),
             scratch_emitted: Vec::new(),
         }
+    }
+
+    /// Turns metric recording on or off (on by default). Purely
+    /// observational either way — same-seed runs are bit-identical
+    /// regardless of this setting.
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.metrics.set_enabled(on);
+    }
+
+    /// Takes the accumulated metrics, leaving a fresh enabled registry
+    /// (with the engine's own metrics re-registered) in place.
+    pub fn take_metrics(&mut self) -> MetricsRegistry {
+        let mut fresh = MetricsRegistry::new();
+        self.engine_ids = EngineIds::register(&mut fresh);
+        std::mem::replace(&mut self.metrics, fresh)
     }
 
     /// Current simulation time.
@@ -505,40 +591,53 @@ impl Sim {
         self.stats.dispatched += 1;
         match event {
             Event::PacketArrive { node, iface, pkt } => {
+                self.metrics.inc(self.engine_ids.ev_packet);
+                self.metrics.observe(self.engine_ids.pkt_bytes, pkt.wire_len() as u64);
                 if self.world.nodes.get(node.0).map(Option::is_some) != Some(true) {
                     return; // node removed mid-flight; drop silently
                 }
                 self.with_node(node, |n, ctx| {
-                    ctx.trace.record(ctx.now, node, TraceKind::Rx, || {
-                        format!("{} -> {} proto {}", pkt.src, pkt.dst, pkt.protocol())
-                    });
+                    ctx.trace.record(ctx.now, node, || TraceData::Rx(pkt_info(&pkt)));
                     n.handle_packet(iface, pkt, ctx);
                 });
             }
             Event::Timer { node, timer } => {
+                self.metrics.inc(self.engine_ids.ev_timer);
                 if self.world.nodes.get(node.0).map(Option::is_some) != Some(true) {
                     return;
+                }
+                if self.trace.timers_enabled() {
+                    self.trace.record(self.now, node, || TraceData::TimerFire {
+                        owner: timer.owner,
+                        token: timer.token,
+                    });
                 }
                 self.with_node(node, |n, ctx| n.handle_timer(timer, ctx));
             }
             Event::CancellableTimer { node, timer, token } => {
+                self.metrics.inc(self.engine_ids.ev_timer);
                 // Retire before dispatch so the handler can re-arm and
                 // a late cancel of this token is a no-op.
                 self.slots.retire(token);
                 if self.world.nodes.get(node.0).map(Option::is_some) != Some(true) {
                     return;
                 }
+                if self.trace.timers_enabled() {
+                    self.trace.record(self.now, node, || TraceData::TimerFire {
+                        owner: timer.owner,
+                        token: timer.token,
+                    });
+                }
                 self.with_node(node, |n, ctx| n.handle_timer(timer, ctx));
             }
             Event::LinkTx { from, link, pkt } => {
+                self.metrics.inc(self.engine_ids.ev_linktx);
                 let l = &mut self.world.links[link.0];
                 let loss_draw: f64 = self.rng.random();
                 let jitter_draw: f64 = self.rng.random();
                 match l.transmit(from, pkt.wire_len(), self.now, loss_draw, jitter_draw) {
                     TxResult::Deliver { to, at } => {
-                        self.trace.record(self.now, from, TraceKind::Tx, || {
-                            format!("{} -> {} proto {} len {}", pkt.src, pkt.dst, pkt.protocol(), pkt.wire_len())
-                        });
+                        self.trace.record(self.now, from, || TraceData::Tx(pkt_info(&pkt)));
                         self.seq += 1;
                         self.stats.scheduled += 1;
                         self.queue.push(
@@ -548,8 +647,10 @@ impl Sim {
                         );
                     }
                     TxResult::Dropped => {
-                        self.trace.record(self.now, from, TraceKind::Drop, || {
-                            format!("link drop {} -> {}", pkt.src, pkt.dst)
+                        self.metrics.inc(self.engine_ids.link_drops);
+                        self.trace.record(self.now, from, || TraceData::Drop {
+                            pkt: Some(pkt_info(&pkt)),
+                            reason: "link drop".to_string(),
                         });
                     }
                 }
@@ -569,6 +670,8 @@ impl Sim {
             trace: &mut self.trace,
             slots: &mut self.slots,
             stats: &mut self.stats,
+            metrics: &mut self.metrics,
+            ids: self.engine_ids,
             emitted: std::mem::take(&mut self.scratch_emitted),
         };
         f(node.as_mut(), &mut ctx);

@@ -338,6 +338,16 @@ impl HostCore {
                 ctx.cancel_timer(old);
             }
         }
+        if !self.tcp.metric_evs.is_empty() {
+            let m = ctx.metrics();
+            for ev in self.tcp.metric_evs.drain(..) {
+                match ev {
+                    crate::tcp::TcpMetric::ConnectNs(ns) => m.observe_name("tcp.connect", ns),
+                    crate::tcp::TcpMetric::AcceptNs(ns) => m.observe_name("tcp.accept", ns),
+                    crate::tcp::TcpMetric::Rtx => m.add_name("tcp.rtx", 1),
+                }
+            }
+        }
         for pkt in self.udp.out.drain(..) {
             self.upper_out.push_back(pkt);
         }
@@ -778,6 +788,11 @@ impl HostApi<'_, '_> {
     pub fn random_below(&mut self, n: u64) -> u64 {
         self.ctx.random_below(n)
     }
+
+    /// The metrics registry (purely observational; see [`Ctx::metrics`]).
+    pub fn metrics(&mut self) -> &mut obs::MetricsRegistry {
+        self.ctx.metrics()
+    }
 }
 
 /// The API handed to the layer-3.5 shim.
@@ -849,6 +864,11 @@ impl ShimApi<'_, '_> {
     /// Records a protocol state-change trace entry.
     pub fn trace_state(&mut self, detail: impl FnOnce() -> String) {
         self.ctx.trace_state(detail);
+    }
+
+    /// The metrics registry (purely observational; see [`Ctx::metrics`]).
+    pub fn metrics(&mut self) -> &mut obs::MetricsRegistry {
+        self.ctx.metrics()
     }
 }
 

@@ -139,9 +139,8 @@ impl Nat {
     fn outbound(&mut self, mut pkt: Packet, ctx: &mut Ctx) {
         let Some((src_port, dst_port)) = Self::flow_ports(&pkt.payload) else {
             self.dropped += 1;
-            ctx.trace_drop(|| {
-                format!("{}: protocol {} has no ports, dropped", self.name, pkt.protocol())
-            });
+            ctx.metrics().add_name("nat.drop.no_ports", 1);
+            ctx.trace_drop_pkt(&pkt, || format!("{}: protocol has no ports, dropped", self.name));
             return;
         };
         let protocol = pkt.protocol();
@@ -175,13 +174,15 @@ impl Nat {
     fn inbound(&mut self, mut pkt: Packet, ctx: &mut Ctx) {
         let Some((src_port, dst_port)) = Self::flow_ports(&pkt.payload) else {
             self.dropped += 1;
-            ctx.trace_drop(|| format!("{}: inbound protocol {} dropped", self.name, pkt.protocol()));
+            ctx.metrics().add_name("nat.drop.no_ports", 1);
+            ctx.trace_drop_pkt(&pkt, || format!("{}: inbound protocol dropped", self.name));
             return;
         };
         let protocol = pkt.protocol();
         let Some(m) = self.by_port.get_mut(&(protocol, dst_port)) else {
             self.dropped += 1;
-            ctx.trace_drop(|| format!("{}: unsolicited inbound to port {dst_port}", self.name));
+            ctx.metrics().add_name("nat.drop.unsolicited", 1);
+            ctx.trace_drop_pkt(&pkt, || format!("{}: unsolicited inbound to port {dst_port}", self.name));
             return;
         };
         // Symmetric filtering: only the mapped remote may use the port.
@@ -191,7 +192,8 @@ impl Nat {
             });
             if !allowed {
                 self.dropped += 1;
-                ctx.trace_drop(|| format!("{}: symmetric filter rejected {}", self.name, pkt.src));
+                ctx.metrics().add_name("nat.drop.symmetric_filter", 1);
+                ctx.trace_drop_pkt(&pkt, || format!("{}: symmetric filter rejected {}", self.name, pkt.src));
                 return;
             }
         }

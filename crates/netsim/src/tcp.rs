@@ -131,6 +131,9 @@ struct TcpSocket {
     /// Retransmission deadline (lazy-cancelled timers check this).
     rtx_deadline: Option<SimTime>,
     rtx_count: u32,
+    /// When the handshake started (SYN sent or received), for the
+    /// connect/accept latency metric.
+    opened_at: SimTime,
 
     // --- receive state ---
     rcv_nxt: u32,
@@ -171,6 +174,20 @@ pub struct TcpLayer {
     /// later obsoleted in the same dispatch merely pops stale — the
     /// per-socket deadline checks in `on_timer` remain the backstop.)
     pub cancel_reqs: Vec<u64>,
+    /// Metric observations for the host to fold into the registry
+    /// (drained each pump; purely observational).
+    pub metric_evs: Vec<TcpMetric>,
+}
+
+/// A metric observation from the TCP layer, recorded by the host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpMetric {
+    /// Active open completed: SYN sent → Established, in sim-ns.
+    ConnectNs(u64),
+    /// Passive open completed: SYN received → Established, in sim-ns.
+    AcceptNs(u64),
+    /// A retransmission timeout fired.
+    Rtx,
 }
 
 impl TcpLayer {
@@ -186,6 +203,7 @@ impl TcpLayer {
             events: Vec::new(),
             timer_reqs: Vec::new(),
             cancel_reqs: Vec::new(),
+            metric_evs: Vec::new(),
         }
     }
 
@@ -219,6 +237,7 @@ impl TcpLayer {
         let cfg = self.config;
         let mut sock = TcpSocket::new(id, app, (local_addr, local_port), remote, cfg);
         sock.state = TcpState::SynSent;
+        sock.opened_at = now;
         sock.snd_una = iss;
         sock.snd_nxt = iss.wrapping_add(1);
         self.conn_map.insert((local_addr, local_port, remote.0, remote.1), id);
@@ -328,6 +347,7 @@ impl TcpLayer {
                 let mut sock =
                     TcpSocket::new(id, app, (dst, seg.dst_port), (src, seg.src_port), cfg);
                 sock.state = TcpState::SynReceived;
+                sock.opened_at = now;
                 // Derive our ISS deterministically from the peer's (the
                 // host layer has the RNG; this keeps the API small).
                 let iss = seg.seq.wrapping_mul(2654435761).wrapping_add(0x9e3779b9);
@@ -382,6 +402,7 @@ impl TcpLayer {
         }
         // Retransmission timeout.
         s.rtx_count += 1;
+        self.metric_evs.push(TcpMetric::Rtx);
         if s.state == TcpState::SynSent && s.rtx_count > s.cfg.syn_retries {
             let id = s.id;
             let app = s.owner_app;
@@ -443,6 +464,9 @@ impl TcpLayer {
                     let ack = s.make_segment(s.snd_nxt, TcpFlags::ACK, Bytes::new());
                     self.out.push(ack);
                     self.events.push((app, TcpEvent::Connected(id)));
+                    self.metric_evs.push(TcpMetric::ConnectNs(
+                        now.as_nanos().saturating_sub(s.opened_at.as_nanos()),
+                    ));
                 }
             }
             TcpState::SynReceived => {
@@ -456,6 +480,9 @@ impl TcpLayer {
                     s.rto = s.cfg.rto_initial;
                     let port = s.local.1;
                     self.events.push((app, TcpEvent::Accepted { listener_port: port, sock: id }));
+                    self.metric_evs.push(TcpMetric::AcceptNs(
+                        now.as_nanos().saturating_sub(s.opened_at.as_nanos()),
+                    ));
                     // The handshake-completing ACK may carry data.
                     if !seg.data.is_empty() || seg.flags.fin {
                         self.process_established(id, seg, now);
@@ -660,6 +687,7 @@ impl TcpSocket {
             rtt_sample: None,
             rtx_deadline: None,
             rtx_count: 0,
+            opened_at: SimTime::ZERO,
             rcv_nxt: 0,
             recv_buf: Vec::new(),
             ooo: BTreeMap::new(),

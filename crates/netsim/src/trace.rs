@@ -1,56 +1,267 @@
-//! Lightweight event tracing.
+//! Lightweight event tracing with typed records and JSONL export.
 //!
 //! Tests and experiment harnesses can enable tracing to see every packet
 //! hop, drop and timer; production sweeps leave it disabled (the trace is
 //! a no-op unless `enabled` is set, so the hot path pays one branch).
+//!
+//! Records are typed ([`TraceData`]) rather than pre-rendered strings,
+//! so harnesses filter on structure (`proto == 6`) instead of grepping
+//! text, and the whole buffer exports as JSON Lines — one flat object
+//! per entry — that parses back into identical records
+//! ([`TraceEntry::parse_json_line`]).
+//!
+//! Timer fire/cancel records are high-volume and opt-in
+//! ([`Trace::with_timers`]); packet records are always captured when
+//! the trace is enabled. When the cap truncates, the number of entries
+//! lost is counted ([`Trace::truncated`]) so harnesses can warn instead
+//! of silently reporting a short trace.
 
+use crate::engine::TimerOwner;
 use crate::link::NodeId;
 use crate::time::SimTime;
+use std::net::IpAddr;
 
-/// One traced occurrence.
-#[derive(Clone, Debug)]
-pub struct TraceEntry {
-    /// When it happened.
-    pub at: SimTime,
-    /// Which node reported it.
-    pub node: NodeId,
-    /// What kind of occurrence.
-    pub kind: TraceKind,
-    /// Human-readable detail.
-    pub detail: String,
+/// Packet identity carried by Tx/Rx/Drop records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PktInfo {
+    /// Source address.
+    pub src: IpAddr,
+    /// Destination address.
+    pub dst: IpAddr,
+    /// IP protocol number (6 TCP, 17 UDP, 50 ESP, 139 HIP, ...).
+    pub proto: u8,
+    /// On-wire length in bytes.
+    pub len: u32,
 }
 
-/// What happened.
+/// What happened, with typed payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceData {
+    /// Packet handed to a link.
+    Tx(PktInfo),
+    /// Packet delivered to a node.
+    Rx(PktInfo),
+    /// Packet dropped (loss, queue overflow, no route, TTL, policy).
+    /// `pkt` is present when the dropper still had the packet in hand.
+    Drop {
+        /// The dropped packet, if known at the drop site.
+        pkt: Option<PktInfo>,
+        /// Why it was dropped.
+        reason: String,
+    },
+    /// A protocol state change worth seeing (BEX transitions, TCP states).
+    State {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A timer fired and was dispatched.
+    TimerFire {
+        /// Which layer owned the timer.
+        owner: TimerOwner,
+        /// Owner-defined token.
+        token: u64,
+    },
+    /// A live cancellable timer was cancelled.
+    TimerCancel {
+        /// Opaque id of the cancelled token.
+        token: u64,
+    },
+}
+
+/// The coarse kind of a record (cheap filtering).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceKind {
     /// Packet handed to a link.
     Tx,
     /// Packet delivered to a node.
     Rx,
-    /// Packet dropped (loss, queue overflow, no route, TTL, policy).
+    /// Packet dropped.
     Drop,
-    /// A protocol state change worth seeing (BEX transitions, TCP states).
+    /// Protocol state change.
     State,
+    /// Timer dispatched.
+    TimerFire,
+    /// Timer cancelled.
+    TimerCancel,
+}
+
+impl TraceData {
+    /// The record's coarse kind.
+    pub fn kind(&self) -> TraceKind {
+        match self {
+            TraceData::Tx(_) => TraceKind::Tx,
+            TraceData::Rx(_) => TraceKind::Rx,
+            TraceData::Drop { .. } => TraceKind::Drop,
+            TraceData::State { .. } => TraceKind::State,
+            TraceData::TimerFire { .. } => TraceKind::TimerFire,
+            TraceData::TimerCancel { .. } => TraceKind::TimerCancel,
+        }
+    }
+
+    /// The packet info, for Tx/Rx/Drop records that carry one.
+    pub fn pkt(&self) -> Option<&PktInfo> {
+        match self {
+            TraceData::Tx(p) | TraceData::Rx(p) => Some(p),
+            TraceData::Drop { pkt, .. } => pkt.as_ref(),
+            _ => None,
+        }
+    }
+}
+
+fn owner_str(o: TimerOwner) -> String {
+    match o {
+        TimerOwner::Tcp => "tcp".to_string(),
+        TimerOwner::Shim => "shim".to_string(),
+        TimerOwner::Node => "node".to_string(),
+        TimerOwner::App(i) => format!("app:{i}"),
+    }
+}
+
+fn owner_parse(s: &str) -> Option<TimerOwner> {
+    match s {
+        "tcp" => Some(TimerOwner::Tcp),
+        "shim" => Some(TimerOwner::Shim),
+        "node" => Some(TimerOwner::Node),
+        _ => s.strip_prefix("app:").and_then(|i| i.parse().ok()).map(TimerOwner::App),
+    }
+}
+
+/// One traced occurrence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which node reported it.
+    pub node: NodeId,
+    /// Coarse kind (derived from `data`, stored for cheap filtering).
+    pub kind: TraceKind,
+    /// The typed record.
+    pub data: TraceData,
+}
+
+impl TraceEntry {
+    /// Human-readable rendering of the record payload.
+    pub fn detail(&self) -> String {
+        match &self.data {
+            TraceData::Tx(p) | TraceData::Rx(p) => {
+                format!("{} -> {} proto {} len {}", p.src, p.dst, p.proto, p.len)
+            }
+            TraceData::Drop { pkt: Some(p), reason } => {
+                format!("{reason} ({} -> {} proto {} len {})", p.src, p.dst, p.proto, p.len)
+            }
+            TraceData::Drop { pkt: None, reason } => reason.clone(),
+            TraceData::State { detail } => detail.clone(),
+            TraceData::TimerFire { owner, token } => {
+                format!("owner {} token {token}", owner_str(*owner))
+            }
+            TraceData::TimerCancel { token } => format!("token {token}"),
+        }
+    }
+
+    /// Serializes the entry as one flat JSON object (no trailing
+    /// newline). Round-trips through [`TraceEntry::parse_json_line`].
+    pub fn to_json_line(&self) -> String {
+        let mut w = obs::json::ObjWriter::new();
+        w.raw_field("t", self.at.as_nanos());
+        w.raw_field("node", self.node.0);
+        let kind = match self.kind {
+            TraceKind::Tx => "tx",
+            TraceKind::Rx => "rx",
+            TraceKind::Drop => "drop",
+            TraceKind::State => "state",
+            TraceKind::TimerFire => "timer_fire",
+            TraceKind::TimerCancel => "timer_cancel",
+        };
+        w.str_field("kind", kind);
+        match &self.data {
+            TraceData::Tx(p) | TraceData::Rx(p) => {
+                w.str_field("src", &p.src.to_string());
+                w.str_field("dst", &p.dst.to_string());
+                w.raw_field("proto", p.proto);
+                w.raw_field("len", p.len);
+            }
+            TraceData::Drop { pkt, reason } => {
+                w.str_field("reason", reason);
+                if let Some(p) = pkt {
+                    w.str_field("src", &p.src.to_string());
+                    w.str_field("dst", &p.dst.to_string());
+                    w.raw_field("proto", p.proto);
+                    w.raw_field("len", p.len);
+                }
+            }
+            TraceData::State { detail } => {
+                w.str_field("detail", detail);
+            }
+            TraceData::TimerFire { owner, token } => {
+                w.str_field("owner", &owner_str(*owner));
+                w.raw_field("token", token);
+            }
+            TraceData::TimerCancel { token } => {
+                w.raw_field("token", token);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses one JSONL line back into an entry. Returns `None` on
+    /// malformed input.
+    pub fn parse_json_line(line: &str) -> Option<TraceEntry> {
+        let kv = obs::json::parse_flat(line)?;
+        let get = |k: &str| kv.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let at = SimTime(get("t")?.as_u64()?);
+        let node = NodeId(get("node")?.as_u64()? as usize);
+        let pkt = || -> Option<PktInfo> {
+            Some(PktInfo {
+                src: get("src")?.as_str()?.parse().ok()?,
+                dst: get("dst")?.as_str()?.parse().ok()?,
+                proto: get("proto")?.as_u64()? as u8,
+                len: get("len")?.as_u64()? as u32,
+            })
+        };
+        let data = match get("kind")?.as_str()? {
+            "tx" => TraceData::Tx(pkt()?),
+            "rx" => TraceData::Rx(pkt()?),
+            "drop" => TraceData::Drop { pkt: pkt(), reason: get("reason")?.as_str()?.to_string() },
+            "state" => TraceData::State { detail: get("detail")?.as_str()?.to_string() },
+            "timer_fire" => TraceData::TimerFire {
+                owner: owner_parse(get("owner")?.as_str()?)?,
+                token: get("token")?.as_u64()?,
+            },
+            "timer_cancel" => TraceData::TimerCancel { token: get("token")?.as_u64()? },
+            _ => return None,
+        };
+        Some(TraceEntry { at, node, kind: data.kind(), data })
+    }
 }
 
 /// A bounded in-memory trace buffer.
 #[derive(Debug, Default)]
 pub struct Trace {
     enabled: bool,
+    timers: bool,
     entries: Vec<TraceEntry>,
     /// Cap so pathological runs cannot exhaust memory.
     cap: usize,
+    /// Entries lost to the cap while enabled.
+    dropped: u64,
 }
 
 impl Trace {
     /// A disabled trace (records nothing).
     pub fn disabled() -> Self {
-        Trace { enabled: false, entries: Vec::new(), cap: 0 }
+        Trace::default()
     }
 
-    /// An enabled trace retaining up to `cap` entries.
+    /// An enabled trace retaining up to `cap` entries. Timer records
+    /// are off by default (high volume); see [`Trace::with_timers`].
     pub fn enabled(cap: usize) -> Self {
-        Trace { enabled: true, entries: Vec::new(), cap }
+        Trace { enabled: true, cap, ..Default::default() }
+    }
+
+    /// Enables or disables timer fire/cancel records.
+    pub fn with_timers(mut self, on: bool) -> Self {
+        self.timers = on;
+        self
     }
 
     /// Whether recording is on.
@@ -58,11 +269,23 @@ impl Trace {
         self.enabled
     }
 
-    /// Records an entry if enabled and below the cap. `detail` is built
-    /// lazily so disabled traces never allocate.
-    pub fn record(&mut self, at: SimTime, node: NodeId, kind: TraceKind, detail: impl FnOnce() -> String) {
-        if self.enabled && self.entries.len() < self.cap {
-            self.entries.push(TraceEntry { at, node, kind, detail: detail() });
+    /// Whether timer records are captured.
+    pub fn timers_enabled(&self) -> bool {
+        self.enabled && self.timers
+    }
+
+    /// Records an entry if enabled and below the cap. `data` is built
+    /// lazily so disabled traces never allocate; past the cap, the
+    /// entry is counted as dropped instead.
+    pub fn record(&mut self, at: SimTime, node: NodeId, data: impl FnOnce() -> TraceData) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() < self.cap {
+            let data = data();
+            self.entries.push(TraceEntry { at, node, kind: data.kind(), data });
+        } else {
+            self.dropped += 1;
         }
     }
 
@@ -76,6 +299,13 @@ impl Trace {
         self.entries.iter().filter(move |e| e.kind == kind)
     }
 
+    /// How many entries were lost because the buffer hit its cap.
+    /// Non-zero means [`Trace::entries`] is a truncated prefix and
+    /// harnesses should say so instead of reporting a short trace.
+    pub fn truncated(&self) -> u64 {
+        self.dropped
+    }
+
     /// Renders the trace as text, one entry per line.
     pub fn dump(&self) -> String {
         let mut s = String::new();
@@ -85,10 +315,30 @@ impl Trace {
                 e.at.as_secs_f64(),
                 e.node.0,
                 e.kind,
-                e.detail
+                e.detail()
             ));
         }
         s
+    }
+
+    /// The whole buffer as JSON Lines (one object per entry).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for e in &self.entries {
+            s.push_str(&e.to_json_line());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Writes the buffer as JSONL to `path`.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_jsonl())
     }
 }
 
@@ -96,22 +346,83 @@ impl Trace {
 mod tests {
     use super::*;
 
-    #[test]
-    fn disabled_records_nothing() {
-        let mut t = Trace::disabled();
-        t.record(SimTime::ZERO, NodeId(0), TraceKind::Tx, || "x".into());
-        assert!(t.entries().is_empty());
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn sample_entries() -> Vec<TraceEntry> {
+        let mk = |at, data: TraceData| TraceEntry { at, kind: data.kind(), node: NodeId(3), data };
+        vec![
+            mk(
+                SimTime(1),
+                TraceData::Tx(PktInfo { src: ip("10.0.0.1"), dst: ip("10.0.0.2"), proto: 6, len: 1500 }),
+            ),
+            mk(
+                SimTime(u64::MAX - 1),
+                TraceData::Rx(PktInfo { src: ip("fd00::1"), dst: ip("fd00::2"), proto: 50, len: 96 }),
+            ),
+            mk(SimTime(5), TraceData::Drop { pkt: None, reason: "no route, \"dark\" dest".into() }),
+            mk(
+                SimTime(6),
+                TraceData::Drop {
+                    pkt: Some(PktInfo { src: ip("192.168.1.9"), dst: ip("8.8.8.8"), proto: 17, len: 64 }),
+                    reason: "queue overflow".into(),
+                },
+            ),
+            mk(SimTime(7), TraceData::State { detail: "I1 -> R1, puzzle k=10\nline2".into() }),
+            mk(SimTime(8), TraceData::TimerFire { owner: TimerOwner::App(2), token: 42 }),
+            mk(SimTime(9), TraceData::TimerCancel { token: (7 << 32) | 1 }),
+        ]
     }
 
     #[test]
-    fn enabled_records_up_to_cap() {
+    fn jsonl_round_trip_is_identical() {
+        for e in sample_entries() {
+            let line = e.to_json_line();
+            let back = TraceEntry::parse_json_line(&line)
+                .unwrap_or_else(|| panic!("unparseable: {line}"));
+            assert_eq!(back, e, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn trace_buffer_round_trips_through_jsonl() {
+        let mut t = Trace::enabled(100).with_timers(true);
+        for e in sample_entries() {
+            let data = e.data.clone();
+            t.record(e.at, e.node, || data);
+        }
+        let text = t.to_jsonl();
+        let parsed: Vec<TraceEntry> =
+            text.lines().map(|l| TraceEntry::parse_json_line(l).unwrap()).collect();
+        assert_eq!(parsed, t.entries());
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, NodeId(0), || TraceData::State { detail: "x".into() });
+        assert!(t.entries().is_empty());
+        assert_eq!(t.truncated(), 0);
+    }
+
+    #[test]
+    fn enabled_records_up_to_cap_and_counts_overflow() {
         let mut t = Trace::enabled(2);
         for i in 0..5 {
-            t.record(SimTime(i), NodeId(0), TraceKind::Rx, || format!("p{i}"));
+            t.record(SimTime(i), NodeId(0), || TraceData::State { detail: format!("p{i}") });
         }
         assert_eq!(t.entries().len(), 2);
-        assert_eq!(t.of_kind(TraceKind::Rx).count(), 2);
+        assert_eq!(t.truncated(), 3);
+        assert_eq!(t.of_kind(TraceKind::State).count(), 2);
         assert_eq!(t.of_kind(TraceKind::Drop).count(), 0);
         assert!(t.dump().contains("p0"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(TraceEntry::parse_json_line("{}").is_none());
+        assert!(TraceEntry::parse_json_line("{\"t\":1,\"node\":0,\"kind\":\"warp\"}").is_none());
+        assert!(TraceEntry::parse_json_line("garbage").is_none());
     }
 }

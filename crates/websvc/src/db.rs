@@ -165,6 +165,10 @@ impl DbServerApp {
     /// served by this host's CPU.
     fn respond(&mut self, sock: SockId, body: Vec<u8>, cost: SimDuration, api: &mut HostApi) {
         let delay = api.cpu_charge(cost);
+        // `db.service` is the pure execution cost; `db.sojourn` includes
+        // time spent queued behind other work on this host's CPU.
+        api.metrics().observe_name("db.service", cost.as_nanos());
+        api.metrics().observe_name("db.sojourn", delay.as_nanos());
         self.next_token += 1;
         let token = self.next_token;
         self.pending.insert(token, (sock, frame(&body)));

@@ -172,7 +172,9 @@ impl App for JmeterApp {
                     self.sessions[idx].outstanding = false;
                     if api.now() >= self.measure_from {
                         self.completed += 1;
-                        self.latency.record(api.now().since(sent_at));
+                        let rt = api.now().since(sent_at);
+                        self.latency.record(rt);
+                        api.metrics().observe_name("client.latency", rt.as_nanos());
                     }
                     // Closed loop, zero think time: next request now.
                     self.fire_request(idx, api);
@@ -297,7 +299,9 @@ impl App for HttperfApp {
                     let sent_at = c.sent_at;
                     if c.requested && api.now() >= self.measure_from {
                         self.completed += 1;
-                        self.latency.record(api.now().since(sent_at));
+                        let rt = api.now().since(sent_at);
+                        self.latency.record(rt);
+                        api.metrics().observe_name("client.latency", rt.as_nanos());
                     }
                     self.conns.remove(&sock);
                     api.tcp_close(sock);
@@ -531,7 +535,9 @@ impl App for PingApp {
             AppEvent::EchoReply { ident, seq, .. } if ident == self.ident => {
                 if let Some(sent_at) = self.in_flight.remove(&seq) {
                     self.received += 1;
-                    self.rtts.record(api.now().since(sent_at));
+                    let rtt = api.now().since(sent_at);
+                    self.rtts.record(rtt);
+                    api.metrics().observe_name("ping.rtt", rtt.as_nanos());
                 }
             }
             _ => {}

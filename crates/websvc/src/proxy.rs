@@ -13,7 +13,7 @@ use crate::http::{HttpResponse, RequestParser, ResponseParser};
 use crate::secure::{Channel, Conn};
 use netsim::host::{App, AppEvent, HostApi};
 use netsim::tcp::TcpEvent;
-use netsim::SockId;
+use netsim::{SimTime, SockId};
 use std::any::Any;
 use std::collections::HashMap;
 use std::net::IpAddr;
@@ -57,6 +57,8 @@ struct BackendSide {
     connected: bool,
     /// Requests accepted before the backend link came up.
     queued: Vec<u8>,
+    /// When the first queued byte arrived (feeds the `proxy.queue` span).
+    queued_at: Option<SimTime>,
 }
 
 /// The reverse proxy application.
@@ -110,6 +112,7 @@ impl ProxyApp {
                 client,
                 connected: false,
                 queued: Vec::new(),
+                queued_at: None,
             },
         );
         if let Some(c) = self.clients.get_mut(&client) {
@@ -121,15 +124,20 @@ impl ProxyApp {
     fn forward(&mut self, client: SockId, data: &[u8], api: &mut HostApi) {
         let Some(backend) = self.ensure_backend(client, api) else {
             self.stats.backend_failures += 1;
+            api.metrics().add_name("proxy.backend_fail", 1);
             let resp = HttpResponse::error(502, "no backend").encode();
             api.tcp_send(client, &resp);
             return;
         };
         self.stats.forwarded += 1;
+        api.metrics().add_name("proxy.fwd", 1);
         let link = self.backend_conns.get_mut(&backend).expect("just ensured");
         if link.connected {
             link.conn.send(data, api);
         } else {
+            if link.queued.is_empty() {
+                link.queued_at = Some(api.now());
+            }
             link.queued.extend_from_slice(data);
         }
     }
@@ -155,6 +163,10 @@ impl App for ProxyApp {
                 if let Some(link) = self.backend_conns.get_mut(&sock) {
                     link.conn = Conn::new(sock, channel);
                     link.connected = true;
+                    if let Some(t0) = link.queued_at.take() {
+                        let waited = api.now().since(t0).as_nanos();
+                        api.metrics().observe_name("proxy.queue", waited);
+                    }
                     if !link.queued.is_empty() {
                         let q = std::mem::take(&mut link.queued);
                         link.conn.send(&q, api);
@@ -198,6 +210,7 @@ impl App for ProxyApp {
             AppEvent::Tcp(TcpEvent::ConnectFailed(sock)) => {
                 if let Some(link) = self.backend_conns.remove(&sock) {
                     self.stats.backend_failures += 1;
+                    api.metrics().add_name("proxy.backend_fail", 1);
                     // Unbind so the client's next request picks a fresh
                     // backend instead of dereferencing the dead one.
                     if let Some(c) = self.clients.get_mut(&link.client) {

@@ -203,6 +203,7 @@ impl WebServerApp {
         html.extend_from_slice(b"</body></html>");
         let resp = HttpResponse::ok(html).encode();
         let delay = api.cpu_charge(self.config.request_cost);
+        api.metrics().observe_name("web.render", delay.as_nanos());
         self.next_token += 1;
         self.pending.insert(self.next_token, (client, resp));
         api.set_timer(delay, self.next_token);

@@ -101,16 +101,17 @@ fn hip_wire_traffic_is_encrypted_inside_cloud() {
     let db_addr = dep.db.addr.to_string();
     let mut saw_esp = 0;
     for e in dep.topo.sim.trace.entries() {
-        if e.kind != netsim::trace::TraceKind::Tx {
-            continue;
-        }
-        if web_nodes.contains(&e.node) && e.detail.contains(&format!("-> {db_addr}")) {
+        let p = match &e.data {
+            netsim::trace::TraceData::Tx(p) => p,
+            _ => continue,
+        };
+        if web_nodes.contains(&e.node) && p.dst.to_string() == db_addr {
             assert!(
-                e.detail.contains("proto 50") || e.detail.contains("proto 139"),
+                p.proto == 50 || p.proto == 139,
                 "cleartext from web to db: {}",
-                e.detail
+                e.detail()
             );
-            if e.detail.contains("proto 50") {
+            if p.proto == 50 {
                 saw_esp += 1;
             }
         }
