@@ -3,10 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::SeedableRng;
-use sim_crypto::aes::Aes128;
+use sim_crypto::aes::{reference, Aes128};
 use sim_crypto::bigint::BigUint;
 use sim_crypto::dh::{DhGroup, DhKeyPair};
-use sim_crypto::hmac::hmac_sha256;
+use sim_crypto::hmac::{hmac_sha256, HmacKey};
 use sim_crypto::rsa::RsaKeyPair;
 use sim_crypto::sha256::sha256;
 
@@ -22,6 +22,12 @@ fn bench_hash(c: &mut Criterion) {
         g.bench_function(format!("sha256/{size}"), |b| b.iter(|| sha256(std::hint::black_box(&data))));
         g.bench_function(format!("hmac_sha256/{size}"), |b| {
             b.iter(|| hmac_sha256(b"key", std::hint::black_box(&data)))
+        });
+        // The per-SA cached transcript path: ipad/opad absorbed once at
+        // key-install time, cloned per MAC.
+        let key = HmacKey::new(b"key");
+        g.bench_function(format!("hmac_sha256_cached/{size}"), |b| {
+            b.iter(|| key.mac(std::hint::black_box(&data)))
         });
     }
     g.finish();
@@ -42,6 +48,29 @@ fn bench_aes(c: &mut Criterion) {
             b.iter(|| aes.cbc_decrypt(&iv, std::hint::black_box(&ct)).expect("valid"))
         });
     }
+    // T-table fast path vs the retained byte-wise reference, single
+    // block, so the per-round cost difference is directly visible.
+    let mut block = [0x5au8; 16];
+    g.bench_function("encrypt_block_ttable", |b| {
+        b.iter(|| {
+            aes.encrypt_block(std::hint::black_box(&mut block));
+        })
+    });
+    g.bench_function("encrypt_block_reference", |b| {
+        b.iter(|| {
+            reference::encrypt_block(&aes, std::hint::black_box(&mut block));
+        })
+    });
+    g.bench_function("decrypt_block_ttable", |b| {
+        b.iter(|| {
+            aes.decrypt_block(std::hint::black_box(&mut block));
+        })
+    });
+    g.bench_function("decrypt_block_reference", |b| {
+        b.iter(|| {
+            reference::decrypt_block(&aes, std::hint::black_box(&mut block));
+        })
+    });
     g.finish();
 }
 

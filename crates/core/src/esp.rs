@@ -12,7 +12,7 @@
 use bytes::Bytes;
 use netsim::packet::{EspPacket, IcmpKind, IcmpMessage, Packet, Payload, TcpFlags, TcpSegment, UdpData, UdpDatagram};
 use sim_crypto::aes::Aes128;
-use sim_crypto::hmac::{hmac_sha256, verify_mac};
+use sim_crypto::hmac::{verify_mac, HmacKey};
 use std::net::IpAddr;
 
 /// ICV length: HMAC-SHA-256 truncated to 16 bytes.
@@ -39,7 +39,9 @@ pub struct EspSa {
     /// The SPI identifying this SA at the receiver.
     pub spi: u32,
     cipher: Aes128,
-    auth_key: [u8; 32],
+    /// Cached HMAC transcripts for the auth key: the ipad/opad states
+    /// are absorbed once at SA setup, then cloned per packet.
+    auth: HmacKey,
     /// Next outbound sequence number (transmit side).
     seq: u32,
     /// Receive side: highest sequence seen + sliding window bitmap.
@@ -56,8 +58,6 @@ pub struct EspSa {
     /// Pooled plaintext buffer: encode/decrypt reuse one allocation per
     /// SA instead of allocating per packet.
     scratch: Vec<u8>,
-    /// Pooled HMAC input buffer (`spi | seq | ciphertext`).
-    mac_scratch: Vec<u8>,
 }
 
 impl EspSa {
@@ -66,7 +66,7 @@ impl EspSa {
         EspSa {
             spi,
             cipher: Aes128::new(&enc_key),
-            auth_key,
+            auth: HmacKey::new(&auth_key),
             seq: 0,
             rcv_highest: 0,
             rcv_window: 0,
@@ -75,7 +75,6 @@ impl EspSa {
             packets: 0,
             bytes: 0,
             scratch: Vec::new(),
-            mac_scratch: Vec::new(),
         }
     }
 
@@ -126,11 +125,11 @@ impl EspSa {
     }
 
     fn icv(&mut self, seq: u32, ciphertext: &[u8]) -> [u8; ICV_LEN] {
-        self.mac_scratch.clear();
-        self.mac_scratch.extend_from_slice(&self.spi.to_be_bytes());
-        self.mac_scratch.extend_from_slice(&seq.to_be_bytes());
-        self.mac_scratch.extend_from_slice(ciphertext);
-        let full = hmac_sha256(&self.auth_key, &self.mac_scratch);
+        // `spi | seq | ciphertext` streamed straight into the cached
+        // transcript — no concatenation buffer, no key re-derivation.
+        let full = self
+            .auth
+            .mac_multi(&[&self.spi.to_be_bytes(), &seq.to_be_bytes(), ciphertext]);
         full[..ICV_LEN].try_into().expect("truncation")
     }
 

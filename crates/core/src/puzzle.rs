@@ -7,14 +7,36 @@
 //! by raising K (§IV-B of the paper).
 
 use crate::identity::Hit;
-use sim_crypto::sha256::sha256_multi;
+use sim_crypto::sha256::{sha256_multi, Sha256};
 
 /// Maximum difficulty we accept (2^26 hashes ≈ seconds of work).
 pub const MAX_K: u8 = 26;
 
+/// A puzzle's fixed prefix `(I | HIT-I | HIT-R)` absorbed into a SHA-256
+/// midstate once, so each candidate `J` costs a single clone + 8-byte
+/// update + finalize instead of re-buffering all four segments.
+struct Midstate(Sha256);
+
+impl Midstate {
+    fn new(i: u64, initiator: &Hit, responder: &Hit) -> Self {
+        let mut h = Sha256::new();
+        h.update(&i.to_be_bytes());
+        h.update(&initiator.0);
+        h.update(&responder.0);
+        Midstate(h)
+    }
+
+    fn low64(&self, j: u64) -> u64 {
+        let mut h = self.0.clone();
+        h.update(&j.to_be_bytes());
+        let digest = h.finalize();
+        // The check uses the low-order 64 bits (Ltrunc in the RFC).
+        u64::from_be_bytes(digest[24..32].try_into().expect("8 bytes"))
+    }
+}
+
 fn puzzle_hash(i: u64, initiator: &Hit, responder: &Hit, j: u64) -> u64 {
     let digest = sha256_multi(&[&i.to_be_bytes(), &initiator.0, &responder.0, &j.to_be_bytes()]);
-    // The check uses the low-order 64 bits (Ltrunc in the RFC).
     u64::from_be_bytes(digest[24..32].try_into().expect("8 bytes"))
 }
 
@@ -40,11 +62,16 @@ pub fn verify(i: u64, k: u8, initiator: &Hit, responder: &Hit, j: u64) -> bool {
 /// arriving off the wire.
 pub fn solve(i: u64, k: u8, initiator: &Hit, responder: &Hit, j0: u64) -> (u64, u64) {
     assert!(k <= MAX_K, "puzzle difficulty {k} exceeds MAX_K");
+    if k == 0 {
+        return (j0, 1);
+    }
+    let midstate = Midstate::new(i, initiator, responder);
+    let mask = (1u64 << k) - 1;
     let mut j = j0;
     let mut attempts = 0u64;
     loop {
         attempts += 1;
-        if verify(i, k, initiator, responder, j) {
+        if midstate.low64(j) & mask == 0 {
             return (j, attempts);
         }
         j = j.wrapping_add(1);
@@ -123,5 +150,44 @@ mod tests {
     fn oversized_k_panics_solver() {
         let (hi, hr) = hits();
         let _ = solve(1, MAX_K + 1, &hi, &hr, 0);
+    }
+
+    /// Reference brute-force using the non-midstate hash path, for
+    /// proving the midstate solver bit-identical.
+    fn solve_reference(i: u64, k: u8, hi: &Hit, hr: &Hit, j0: u64) -> (u64, u64) {
+        let mut j = j0;
+        let mut attempts = 0u64;
+        loop {
+            attempts += 1;
+            if verify(i, k, hi, hr, j) {
+                return (j, attempts);
+            }
+            j = j.wrapping_add(1);
+        }
+    }
+
+    #[test]
+    fn midstate_solver_matches_reference_exactly() {
+        let (hi, hr) = hits();
+        for (i, k, j0) in [
+            (0x1234u64, 8u8, 0u64),
+            (7, 12, 0),
+            (99, 10, 0xdead_beef),
+            (0, 1, u64::MAX - 3), // exercises wrapping j
+            (42, 0, 17),
+        ] {
+            let fast = solve(i, k, &hi, &hr, j0);
+            let slow = solve_reference(i, k, &hi, &hr, j0);
+            assert_eq!(fast, slow, "i={i} k={k} j0={j0}: (j, attempts) must be identical");
+        }
+    }
+
+    #[test]
+    fn midstate_hash_matches_multi_hash() {
+        let (hi, hr) = hits();
+        let m = Midstate::new(0xfeed, &hi, &hr);
+        for j in 0..64u64 {
+            assert_eq!(m.low64(j), puzzle_hash(0xfeed, &hi, &hr, j));
+        }
     }
 }

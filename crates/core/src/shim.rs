@@ -23,6 +23,7 @@ use crate::wire::{encode_locator, param_type, HipPacket, PacketType, Param};
 use netsim::packet::{Packet, Payload};
 use netsim::{L35Shim, ShimApi, SimDuration, SimTime};
 use sim_crypto::dh::{DhGroup, DhKeyPair};
+use sim_crypto::hmac::HmacKey;
 use sim_crypto::kdf::keymat;
 use std::any::Any;
 use std::collections::HashMap;
@@ -146,8 +147,10 @@ struct Association {
     /// Puzzle values bound into KEYMAT.
     puzzle_i: u64,
     puzzle_j: u64,
-    hmac_out: [u8; 32],
-    hmac_in: [u8; 32],
+    /// Cached HMAC transcripts for outbound/inbound control packets
+    /// (ipad/opad absorbed once at KEYMAT time, cloned per packet).
+    hmac_out: HmacKey,
+    hmac_in: HmacKey,
     sa_out: Option<EspSa>,
     sa_in: Option<EspSa>,
     /// Our inbound SPI (sent to the peer during BEX).
@@ -316,12 +319,12 @@ impl HipShim {
         ptype: PacketType,
         receiver: Hit,
         mut params: Vec<Param>,
-        hmac_key: Option<&[u8; 32]>,
+        hmac_key: Option<&HmacKey>,
     ) -> HipPacket {
         if let Some(key) = hmac_key {
             let unsealed = HipPacket::new(ptype, self.hit(), receiver, params.clone());
             let covered = unsealed.bytes_before(param_type::HMAC);
-            params.push(Param::Hmac(sim_crypto::hmac::hmac_sha256(key, &covered)));
+            params.push(Param::Hmac(key.mac(&covered)));
         }
         let with_mac = HipPacket::new(ptype, self.hit(), receiver, params.clone());
         let covered = with_mac.bytes_before(param_type::HIP_SIGNATURE);
@@ -331,11 +334,11 @@ impl HipShim {
     }
 
     /// Verifies HMAC (against `hmac_key`) and signature (against `hi`).
-    fn verify_sealed(&self, pkt: &HipPacket, hi: &PublicHi, hmac_key: Option<&[u8; 32]>) -> bool {
+    fn verify_sealed(&self, pkt: &HipPacket, hi: &PublicHi, hmac_key: Option<&HmacKey>) -> bool {
         if let Some(key) = hmac_key {
             let Some(mac) = pkt.hmac() else { return false };
             let covered = pkt.bytes_before(param_type::HMAC);
-            let expect = sim_crypto::hmac::hmac_sha256(key, &covered);
+            let expect = key.mac(&covered);
             if !sim_crypto::hmac::verify_mac(&expect, mac) {
                 return false;
             }
@@ -354,11 +357,14 @@ impl HipShim {
         i: u64,
         j: u64,
         role: Role,
-    ) -> ([u8; 32], [u8; 32], ([u8; 16], [u8; 32]), ([u8; 16], [u8; 32])) {
+    ) -> (HmacKey, HmacKey, ([u8; 16], [u8; 32]), ([u8; 16], [u8; 32])) {
         let my = self.hit();
         let km = keymat(kij, &my.0, &peer.0, i, j, 160);
-        let hmac_i2r: [u8; 32] = km[0..32].try_into().expect("slice");
-        let hmac_r2i: [u8; 32] = km[32..64].try_into().expect("slice");
+        // Control-packet HMAC keys become cached transcripts right here,
+        // so every later seal/verify clones midstates instead of
+        // re-deriving the key block.
+        let hmac_i2r = HmacKey::new(&km[0..32]);
+        let hmac_r2i = HmacKey::new(&km[32..64]);
         let enc_i2r: [u8; 16] = km[64..80].try_into().expect("slice");
         let auth_i2r: [u8; 32] = km[80..112].try_into().expect("slice");
         let enc_r2i: [u8; 16] = km[112..128].try_into().expect("slice");
@@ -624,7 +630,7 @@ impl HipShim {
             return;
         }
         let Some(hi) = assoc.peer_hi.clone() else { return };
-        let hmac_in = assoc.hmac_in;
+        let hmac_in = assoc.hmac_in.clone();
         if !self.verify_sealed(pkt, &hi, Some(&hmac_in)) {
             self.stats.drops_auth += 1;
             return;
@@ -665,7 +671,7 @@ impl HipShim {
             return;
         }
         let Some(hi) = assoc.peer_hi.clone() else { return };
-        let hmac_in = assoc.hmac_in;
+        let hmac_in = assoc.hmac_in.clone();
         if !self.verify_sealed(pkt, &hi, Some(&hmac_in)) {
             self.stats.drops_auth += 1;
             return;
@@ -692,7 +698,7 @@ impl HipShim {
             assoc.update_seq += 1;
             let our_seq = assoc.update_seq;
             assoc.pending_verify = Some(PendingVerify { nonce, new_locator: new_loc, seq_ours: our_seq });
-            let hmac_out = assoc.hmac_out;
+            let hmac_out = assoc.hmac_out.clone();
             let params = vec![Param::Seq(our_seq), Param::Ack(vec![peer_seq]), Param::EchoRequest(nonce)];
             let reply = self.seal(api, PacketType::Update, peer, params, Some(&hmac_out));
             // Address verification: the echo goes to the *new* locator.
@@ -713,7 +719,7 @@ impl HipShim {
                 }
                 // Return routability: the response must leave from the
                 // locator we announced, proving we are reachable there.
-                (assoc.hmac_out, assoc.peer_locator, assoc.local_locator)
+                (assoc.hmac_out.clone(), assoc.peer_locator, assoc.local_locator)
             };
             let params = vec![Param::Ack(vec![peer_seq]), Param::EchoResponse(nonce)];
             let reply = self.seal(api, PacketType::Update, peer, params, Some(&hmac_out));
@@ -745,7 +751,7 @@ impl HipShim {
         let peer = pkt.sender_hit;
         let Some(assoc) = self.assocs.get(&peer) else { return };
         let Some(hi) = assoc.peer_hi.clone() else { return };
-        let hmac_in = assoc.hmac_in;
+        let hmac_in = assoc.hmac_in.clone();
         if !self.verify_sealed(pkt, &hi, Some(&hmac_in)) {
             self.stats.drops_auth += 1;
             return;
@@ -754,7 +760,7 @@ impl HipShim {
             Param::EchoRequest(n) => Some(*n),
             _ => None,
         });
-        let hmac_out = assoc.hmac_out;
+        let hmac_out = assoc.hmac_out.clone();
         let mut params = Vec::new();
         if let Some(n) = nonce {
             params.push(Param::EchoResponse(n));
@@ -904,7 +910,7 @@ impl HipShim {
                 assoc.local_locator = new_locator;
                 assoc.update_seq += 1;
                 assoc.update_in_flight = true;
-                (assoc.hmac_out, assoc.peer_locator, assoc.update_seq)
+                (assoc.hmac_out.clone(), assoc.peer_locator, assoc.update_seq)
             };
             let params = vec![
                 Param::Locator(vec![encode_locator(&new_locator)]),
@@ -927,7 +933,7 @@ impl HipShim {
         let nonce = api.random_u64();
         assoc.close_nonce = Some(nonce);
         assoc.state = AssocState::Closing;
-        let hmac_out = assoc.hmac_out;
+        let hmac_out = assoc.hmac_out.clone();
         let dst = assoc.peer_locator;
         let src = assoc.local_locator;
         let close = self.seal(
@@ -953,8 +959,10 @@ impl Association {
             dh: None,
             puzzle_i: 0,
             puzzle_j: 0,
-            hmac_out: [0; 32],
-            hmac_in: [0; 32],
+            // Placeholders; overwritten when KEYMAT is derived (the
+            // state machine never MACs before that).
+            hmac_out: HmacKey::new(&[]),
+            hmac_in: HmacKey::new(&[]),
             sa_out: None,
             sa_in: None,
             local_spi: 0,

@@ -1,10 +1,25 @@
 //! AES-128 (FIPS 197) with CBC and CTR modes.
 //!
 //! This is the symmetric cipher for the HIP ESP-BEET data plane and the
-//! TLS record layer. The implementation is a straightforward table-free
-//! byte-oriented one: clarity over speed (the simulator charges data-plane
-//! cost through its calibrated cost model, not through this code's own
-//! wall-clock).
+//! TLS record layer. Two implementations live here:
+//!
+//! - The **T-table fast path** (default): four 256×u32 encryption tables
+//!   and their inverses, built once via `OnceLock` *from the S-box itself*
+//!   (so a table bug cannot silently diverge from the byte-wise math —
+//!   both derive from the same constants), fuse SubBytes/ShiftRows/
+//!   MixColumns into one lookup-XOR round over four column words.
+//!   CBC folds the prev-block XOR into the first AddRoundKey, and CTR
+//!   runs a multi-block word-level keystream path.
+//! - The **byte-wise reference** ([`reference`]): the original
+//!   straightforward separate-pass implementation, kept as the oracle
+//!   for equivalence tests and selectable at runtime via
+//!   [`set_reference_mode`] so whole-simulation regression tests can
+//!   prove the fast path changes no output byte.
+//!
+//! Both are pinned to the FIPS 197 / SP 800-38A vectors below.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
 
 /// AES block size in bytes.
 pub const BLOCK_LEN: usize = 16;
@@ -32,7 +47,6 @@ const SBOX: [u8; 256] = [
 
 /// Inverse S-box, generated once at first use.
 fn inv_sbox() -> &'static [u8; 256] {
-    use std::sync::OnceLock;
     static INV: OnceLock<[u8; 256]> = OnceLock::new();
     INV.get_or_init(|| {
         let mut inv = [0u8; 256];
@@ -63,10 +77,99 @@ fn gmul(a: u8, b: u8) -> u8 {
     p
 }
 
-/// An expanded AES-128 key (11 round keys).
+thread_local! {
+    static REFERENCE_MODE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Forces the byte-wise [`reference`] implementation for every AES call
+/// on the current thread. Used by regression tests to prove the T-table
+/// fast path is output-identical at whole-simulation scale.
+pub fn set_reference_mode(on: bool) {
+    REFERENCE_MODE.with(|m| m.set(on));
+}
+
+/// Whether [`set_reference_mode`] forced the byte-wise path on this thread.
+pub fn reference_mode() -> bool {
+    REFERENCE_MODE.with(|m| m.get())
+}
+
+/// The fused encryption/decryption lookup tables.
+///
+/// `te[k][x]` is the MixColumns-weighted contribution of S-box output
+/// `SBOX[x]` when it lands in byte position `k` of a column;
+/// `td[k][x]` is the same for the inverse cipher (InvSBox +
+/// InvMixColumns). One round becomes four lookups + XORs per column.
+struct Tables {
+    te: [[u32; 256]; 4],
+    td: [[u32; 256]; 4],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let isb = inv_sbox();
+        let mut te = [[0u32; 256]; 4];
+        let mut td = [[0u32; 256]; 4];
+        for x in 0..256 {
+            // Forward: MixColumns matrix column (02, 01, 01, 03) applied
+            // to the S-box output, then rotated for byte positions 1..3.
+            let s = SBOX[x];
+            let s2 = xtime(s);
+            let s3 = s2 ^ s;
+            te[0][x] = u32::from_be_bytes([s2, s, s, s3]);
+            te[1][x] = te[0][x].rotate_right(8);
+            te[2][x] = te[0][x].rotate_right(16);
+            te[3][x] = te[0][x].rotate_right(24);
+            // Inverse: InvMixColumns column (0e, 09, 0d, 0b) applied to
+            // the inverse S-box output.
+            let v = isb[x];
+            td[0][x] = u32::from_be_bytes([gmul(v, 14), gmul(v, 9), gmul(v, 13), gmul(v, 11)]);
+            td[1][x] = td[0][x].rotate_right(8);
+            td[2][x] = td[0][x].rotate_right(16);
+            td[3][x] = td[0][x].rotate_right(24);
+        }
+        Tables { te, td }
+    })
+}
+
+/// Applies InvMixColumns to one big-endian column word (used to derive
+/// the equivalent-inverse-cipher round keys).
+fn inv_mix_word(w: u32) -> u32 {
+    let [a, b, c, d] = w.to_be_bytes();
+    u32::from_be_bytes([
+        gmul(a, 14) ^ gmul(b, 11) ^ gmul(c, 13) ^ gmul(d, 9),
+        gmul(a, 9) ^ gmul(b, 14) ^ gmul(c, 11) ^ gmul(d, 13),
+        gmul(a, 13) ^ gmul(b, 9) ^ gmul(c, 14) ^ gmul(d, 11),
+        gmul(a, 11) ^ gmul(b, 13) ^ gmul(c, 9) ^ gmul(d, 14),
+    ])
+}
+
+#[inline]
+fn load_words(block: &[u8]) -> [u32; 4] {
+    [
+        u32::from_be_bytes(block[0..4].try_into().expect("4 bytes")),
+        u32::from_be_bytes(block[4..8].try_into().expect("4 bytes")),
+        u32::from_be_bytes(block[8..12].try_into().expect("4 bytes")),
+        u32::from_be_bytes(block[12..16].try_into().expect("4 bytes")),
+    ]
+}
+
+#[inline]
+fn store_words(w: [u32; 4], block: &mut [u8]) {
+    block[0..4].copy_from_slice(&w[0].to_be_bytes());
+    block[4..8].copy_from_slice(&w[1].to_be_bytes());
+    block[8..12].copy_from_slice(&w[2].to_be_bytes());
+    block[12..16].copy_from_slice(&w[3].to_be_bytes());
+}
+
+/// An expanded AES-128 key: byte round keys (for the [`reference`]
+/// path), word round keys (fast encrypt) and the InvMixColumns-folded
+/// decryption round keys (fast decrypt, equivalent inverse cipher).
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; 11],
+    rk: [[u32; 4]; 11],
+    dk: [[u32; 4]; 11],
 }
 
 impl Aes128 {
@@ -95,35 +198,139 @@ impl Aes128 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
             }
         }
-        Aes128 { round_keys }
+        let mut rk = [[0u32; 4]; 11];
+        for (r, words) in rk.iter_mut().enumerate() {
+            *words = load_words(&round_keys[r]);
+        }
+        // Equivalent inverse cipher: decryption round keys are the
+        // encryption keys in reverse order, with InvMixColumns applied
+        // to all but the first and last.
+        let mut dk = [[0u32; 4]; 11];
+        dk[0] = rk[10];
+        dk[10] = rk[0];
+        for r in 1..10 {
+            for c in 0..4 {
+                dk[r][c] = inv_mix_word(rk[10 - r][c]);
+            }
+        }
+        Aes128 { round_keys, rk, dk }
+    }
+
+    /// One fused table round per call site: 9 main rounds + the S-box
+    /// final round. `s` must already have round key 0 absorbed.
+    #[inline]
+    fn encrypt_words(&self, t: &Tables, mut s: [u32; 4]) -> [u32; 4] {
+        for r in 1..10 {
+            let rk = &self.rk[r];
+            s = [
+                t.te[0][(s[0] >> 24) as usize]
+                    ^ t.te[1][((s[1] >> 16) & 0xff) as usize]
+                    ^ t.te[2][((s[2] >> 8) & 0xff) as usize]
+                    ^ t.te[3][(s[3] & 0xff) as usize]
+                    ^ rk[0],
+                t.te[0][(s[1] >> 24) as usize]
+                    ^ t.te[1][((s[2] >> 16) & 0xff) as usize]
+                    ^ t.te[2][((s[3] >> 8) & 0xff) as usize]
+                    ^ t.te[3][(s[0] & 0xff) as usize]
+                    ^ rk[1],
+                t.te[0][(s[2] >> 24) as usize]
+                    ^ t.te[1][((s[3] >> 16) & 0xff) as usize]
+                    ^ t.te[2][((s[0] >> 8) & 0xff) as usize]
+                    ^ t.te[3][(s[1] & 0xff) as usize]
+                    ^ rk[2],
+                t.te[0][(s[3] >> 24) as usize]
+                    ^ t.te[1][((s[0] >> 16) & 0xff) as usize]
+                    ^ t.te[2][((s[1] >> 8) & 0xff) as usize]
+                    ^ t.te[3][(s[2] & 0xff) as usize]
+                    ^ rk[3],
+            ];
+        }
+        let rk = &self.rk[10];
+        let sub = |s: &[u32; 4], a: usize, b: usize, c: usize, d: usize| -> u32 {
+            (u32::from(SBOX[(s[a] >> 24) as usize]) << 24)
+                | (u32::from(SBOX[((s[b] >> 16) & 0xff) as usize]) << 16)
+                | (u32::from(SBOX[((s[c] >> 8) & 0xff) as usize]) << 8)
+                | u32::from(SBOX[(s[d] & 0xff) as usize])
+        };
+        [
+            sub(&s, 0, 1, 2, 3) ^ rk[0],
+            sub(&s, 1, 2, 3, 0) ^ rk[1],
+            sub(&s, 2, 3, 0, 1) ^ rk[2],
+            sub(&s, 3, 0, 1, 2) ^ rk[3],
+        ]
+    }
+
+    /// Inverse of [`Self::encrypt_words`]; `s` must already have
+    /// decryption round key 0 (= encryption key 10) absorbed.
+    #[inline]
+    fn decrypt_words(&self, t: &Tables, mut s: [u32; 4]) -> [u32; 4] {
+        for r in 1..10 {
+            let dk = &self.dk[r];
+            s = [
+                t.td[0][(s[0] >> 24) as usize]
+                    ^ t.td[1][((s[3] >> 16) & 0xff) as usize]
+                    ^ t.td[2][((s[2] >> 8) & 0xff) as usize]
+                    ^ t.td[3][(s[1] & 0xff) as usize]
+                    ^ dk[0],
+                t.td[0][(s[1] >> 24) as usize]
+                    ^ t.td[1][((s[0] >> 16) & 0xff) as usize]
+                    ^ t.td[2][((s[3] >> 8) & 0xff) as usize]
+                    ^ t.td[3][(s[2] & 0xff) as usize]
+                    ^ dk[1],
+                t.td[0][(s[2] >> 24) as usize]
+                    ^ t.td[1][((s[1] >> 16) & 0xff) as usize]
+                    ^ t.td[2][((s[0] >> 8) & 0xff) as usize]
+                    ^ t.td[3][(s[3] & 0xff) as usize]
+                    ^ dk[2],
+                t.td[0][(s[3] >> 24) as usize]
+                    ^ t.td[1][((s[2] >> 16) & 0xff) as usize]
+                    ^ t.td[2][((s[1] >> 8) & 0xff) as usize]
+                    ^ t.td[3][(s[0] & 0xff) as usize]
+                    ^ dk[3],
+            ];
+        }
+        let dk = &self.dk[10];
+        let isb = inv_sbox();
+        let sub = |s: &[u32; 4], a: usize, b: usize, c: usize, d: usize| -> u32 {
+            (u32::from(isb[(s[a] >> 24) as usize]) << 24)
+                | (u32::from(isb[((s[b] >> 16) & 0xff) as usize]) << 16)
+                | (u32::from(isb[((s[c] >> 8) & 0xff) as usize]) << 8)
+                | u32::from(isb[(s[d] & 0xff) as usize])
+        };
+        [
+            sub(&s, 0, 3, 2, 1) ^ dk[0],
+            sub(&s, 1, 0, 3, 2) ^ dk[1],
+            sub(&s, 2, 1, 0, 3) ^ dk[2],
+            sub(&s, 3, 2, 1, 0) ^ dk[3],
+        ]
     }
 
     /// Encrypts one 16-byte block in place.
     pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
-        add_round_key(block, &self.round_keys[0]);
-        for round in 1..10 {
-            sub_bytes(block);
-            shift_rows(block);
-            mix_columns(block);
-            add_round_key(block, &self.round_keys[round]);
+        if reference_mode() {
+            reference::encrypt_block(self, block);
+            return;
         }
-        sub_bytes(block);
-        shift_rows(block);
-        add_round_key(block, &self.round_keys[10]);
+        let t = tables();
+        let mut s = load_words(block);
+        for (w, k) in s.iter_mut().zip(&self.rk[0]) {
+            *w ^= k;
+        }
+        store_words(self.encrypt_words(t, s), block);
     }
 
     /// Decrypts one 16-byte block in place.
     pub fn decrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
-        add_round_key(block, &self.round_keys[10]);
-        inv_shift_rows(block);
-        inv_sub_bytes(block);
-        for round in (1..10).rev() {
-            add_round_key(block, &self.round_keys[round]);
-            inv_mix_columns(block);
-            inv_shift_rows(block);
-            inv_sub_bytes(block);
+        if reference_mode() {
+            reference::decrypt_block(self, block);
+            return;
         }
-        add_round_key(block, &self.round_keys[0]);
+        let t = tables();
+        let mut s = load_words(block);
+        for (w, k) in s.iter_mut().zip(&self.dk[0]) {
+            *w ^= k;
+        }
+        store_words(self.decrypt_words(t, s), block);
     }
 
     /// CBC encryption with PKCS#7 padding. Output is a multiple of 16 bytes
@@ -143,14 +350,29 @@ impl Aes128 {
         out.reserve(plaintext.len() + pad);
         out.extend_from_slice(plaintext);
         out.extend(std::iter::repeat_n(pad as u8, pad));
-        let mut prev = *iv;
-        for chunk in out[start..].chunks_mut(BLOCK_LEN) {
-            let block: &mut [u8; BLOCK_LEN] = chunk.try_into().unwrap();
-            for i in 0..BLOCK_LEN {
-                block[i] ^= prev[i];
+        if reference_mode() {
+            let mut prev = *iv;
+            for chunk in out[start..].chunks_mut(BLOCK_LEN) {
+                let block: &mut [u8; BLOCK_LEN] = chunk.try_into().expect("block");
+                for (b, p) in block.iter_mut().zip(&prev) {
+                    *b ^= p;
+                }
+                reference::encrypt_block(self, block);
+                prev = *block;
             }
-            self.encrypt_block(block);
-            prev = *block;
+            return;
+        }
+        let t = tables();
+        let rk0 = self.rk[0];
+        // The chaining XOR and round key 0 are folded into one pass.
+        let mut prev = load_words(iv);
+        for chunk in out[start..].chunks_mut(BLOCK_LEN) {
+            let mut s = load_words(chunk);
+            for i in 0..4 {
+                s[i] ^= prev[i] ^ rk0[i];
+            }
+            prev = self.encrypt_words(t, s);
+            store_words(prev, chunk);
         }
     }
 
@@ -173,15 +395,34 @@ impl Aes128 {
         }
         let start = out.len();
         out.extend_from_slice(ciphertext);
-        let mut prev = *iv;
-        for chunk in out[start..].chunks_mut(BLOCK_LEN) {
-            let block: &mut [u8; BLOCK_LEN] = chunk.try_into().unwrap();
-            let saved = *block;
-            self.decrypt_block(block);
-            for i in 0..BLOCK_LEN {
-                block[i] ^= prev[i];
+        if reference_mode() {
+            let mut prev = *iv;
+            for chunk in out[start..].chunks_mut(BLOCK_LEN) {
+                let block: &mut [u8; BLOCK_LEN] = chunk.try_into().expect("block");
+                let saved = *block;
+                reference::decrypt_block(self, block);
+                for (b, p) in block.iter_mut().zip(&prev) {
+                    *b ^= p;
+                }
+                prev = saved;
             }
-            prev = saved;
+        } else {
+            let t = tables();
+            let dk0 = self.dk[0];
+            let mut prev = load_words(iv);
+            for chunk in out[start..].chunks_mut(BLOCK_LEN) {
+                let saved = load_words(chunk);
+                let mut s = saved;
+                for i in 0..4 {
+                    s[i] ^= dk0[i];
+                }
+                let mut p = self.decrypt_words(t, s);
+                for i in 0..4 {
+                    p[i] ^= prev[i];
+                }
+                store_words(p, chunk);
+                prev = saved;
+            }
         }
         let pad = out[out.len() - 1] as usize;
         if pad == 0 || pad > BLOCK_LEN || pad > out.len() - start
@@ -196,81 +437,156 @@ impl Aes128 {
 
     /// CTR-mode keystream XOR (encryption and decryption are identical).
     /// The 16-byte `nonce_counter` is the initial counter block; the final
-    /// 32 bits are incremented per block.
+    /// 32 bits are incremented per block. Whole blocks run through the
+    /// word-level multi-block keystream path; only a trailing partial
+    /// block falls back to byte-wise XOR.
     pub fn ctr_apply(&self, nonce_counter: &[u8; BLOCK_LEN], data: &mut [u8]) {
         let mut counter = *nonce_counter;
-        for chunk in data.chunks_mut(BLOCK_LEN) {
-            let mut keystream = counter;
-            self.encrypt_block(&mut keystream);
-            for (d, k) in chunk.iter_mut().zip(keystream.iter()) {
+        if reference_mode() {
+            for chunk in data.chunks_mut(BLOCK_LEN) {
+                let mut keystream = counter;
+                reference::encrypt_block(self, &mut keystream);
+                for (d, k) in chunk.iter_mut().zip(keystream.iter()) {
+                    *d ^= k;
+                }
+                incr_counter(&mut counter);
+            }
+            return;
+        }
+        let t = tables();
+        let rk0 = self.rk[0];
+        let mut chunks = data.chunks_exact_mut(BLOCK_LEN);
+        for chunk in &mut chunks {
+            let mut s = load_words(&counter);
+            for i in 0..4 {
+                s[i] ^= rk0[i];
+            }
+            let ks = self.encrypt_words(t, s);
+            let mut d = load_words(chunk);
+            for i in 0..4 {
+                d[i] ^= ks[i];
+            }
+            store_words(d, chunk);
+            incr_counter(&mut counter);
+        }
+        let tail = chunks.into_remainder();
+        if !tail.is_empty() {
+            let mut s = load_words(&counter);
+            for i in 0..4 {
+                s[i] ^= rk0[i];
+            }
+            let mut keystream = [0u8; BLOCK_LEN];
+            store_words(self.encrypt_words(t, s), &mut keystream);
+            for (d, k) in tail.iter_mut().zip(keystream.iter()) {
                 *d ^= k;
             }
-            // Increment the trailing 32-bit counter.
-            for i in (BLOCK_LEN - 4..BLOCK_LEN).rev() {
-                counter[i] = counter[i].wrapping_add(1);
-                if counter[i] != 0 {
-                    break;
-                }
+        }
+    }
+}
+
+/// Increments the trailing 32-bit big-endian counter of a CTR block.
+fn incr_counter(counter: &mut [u8; BLOCK_LEN]) {
+    for i in (BLOCK_LEN - 4..BLOCK_LEN).rev() {
+        counter[i] = counter[i].wrapping_add(1);
+        if counter[i] != 0 {
+            break;
+        }
+    }
+}
+
+pub mod reference {
+    //! The original byte-oriented AES implementation: separate SubBytes/
+    //! ShiftRows/MixColumns/AddRoundKey passes, exactly as in FIPS 197's
+    //! pseudocode. Slower but obviously-correct; the T-table fast path is
+    //! proven equivalent to it by proptest (random keys/blocks) and by
+    //! whole-simulation regression runs under [`super::set_reference_mode`].
+
+    use super::{inv_sbox, gmul, xtime, Aes128, BLOCK_LEN, SBOX};
+
+    /// Encrypts one block with the byte-wise reference rounds.
+    pub fn encrypt_block(aes: &Aes128, block: &mut [u8; BLOCK_LEN]) {
+        add_round_key(block, &aes.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &aes.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &aes.round_keys[10]);
+    }
+
+    /// Decrypts one block with the byte-wise reference rounds.
+    pub fn decrypt_block(aes: &Aes128, block: &mut [u8; BLOCK_LEN]) {
+        add_round_key(block, &aes.round_keys[10]);
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        for round in (1..10).rev() {
+            add_round_key(block, &aes.round_keys[round]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+        }
+        add_round_key(block, &aes.round_keys[0]);
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        let inv = inv_sbox();
+        for b in state.iter_mut() {
+            *b = inv[*b as usize];
+        }
+    }
+
+    // State is column-major: state[4*c + r] is row r, column c.
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * c + r] = s[4 * ((c + r) % 4) + r];
             }
         }
     }
-}
 
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for i in 0..16 {
-        state[i] ^= rk[i];
-    }
-}
-
-fn sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
-    }
-}
-
-fn inv_sub_bytes(state: &mut [u8; 16]) {
-    let inv = inv_sbox();
-    for b in state.iter_mut() {
-        *b = inv[*b as usize];
-    }
-}
-
-// State is column-major: state[4*c + r] is row r, column c.
-fn shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+            }
         }
     }
-}
 
-fn inv_shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    for r in 1..4 {
+    fn mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+            state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
         }
     }
-}
 
-fn mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-        state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
-        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
-        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
-        state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
-    }
-}
-
-fn inv_mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-        state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
-        state[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
-        state[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
-        state[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+            state[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+            state[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+            state[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+        }
     }
 }
 
@@ -280,6 +596,29 @@ mod tests {
 
     fn hex(bytes: &[u8]) -> String {
         bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex"))
+            .collect()
+    }
+
+    /// SP 800-38A's AES-128 key, shared by the CBC/CTR vectors.
+    const NIST_KEY: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
+
+    /// SP 800-38A's four plaintext blocks.
+    fn nist_plaintext() -> Vec<u8> {
+        unhex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710",
+        ))
     }
 
     #[test]
@@ -301,14 +640,115 @@ mod tests {
     }
 
     #[test]
-    fn fips197_appendix_c1() {
-        let key: [u8; 16] = (0u8..16).collect::<Vec<_>>().try_into().unwrap();
-        let mut block: [u8; 16] = [
+    fn fips197_appendix_c1_encrypt_and_decrypt() {
+        let key: [u8; 16] = (0u8..16).collect::<Vec<_>>().try_into().expect("16");
+        let plain: [u8; 16] = [
             0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
             0xee, 0xff,
         ];
-        Aes128::new(&key).encrypt_block(&mut block);
+        let aes = Aes128::new(&key);
+        let mut block = plain;
+        aes.encrypt_block(&mut block);
         assert_eq!(hex(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        // The C.1 vector run backwards pins the fast decrypt path too.
+        aes.decrypt_block(&mut block);
+        assert_eq!(block, plain);
+    }
+
+    #[test]
+    fn sp800_38a_cbc_vectors() {
+        // SP 800-38A F.2.1/F.2.2. Our CBC always appends PKCS#7 padding,
+        // so the first four ciphertext blocks must match the vector
+        // exactly and one padding block follows.
+        let iv: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f").try_into().expect("iv");
+        let aes = Aes128::new(&NIST_KEY);
+        let ct = aes.cbc_encrypt(&iv, &nist_plaintext());
+        assert_eq!(ct.len(), 80);
+        assert_eq!(
+            hex(&ct[..64]),
+            concat!(
+                "7649abac8119b246cee98e9b12e9197d",
+                "5086cb9b507219ee95db113a917678b2",
+                "73bed6b8e3c1743b7116e69e22229516",
+                "3ff1caa1681fac09120eca307586e1a7",
+            )
+        );
+        assert_eq!(aes.cbc_decrypt(&iv, &ct).expect("valid"), nist_plaintext());
+    }
+
+    #[test]
+    fn sp800_38a_ctr_vectors() {
+        // SP 800-38A F.5.1/F.5.2 (encrypt == decrypt in CTR).
+        let counter: [u8; 16] = unhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().expect("ctr");
+        let aes = Aes128::new(&NIST_KEY);
+        let mut data = nist_plaintext();
+        aes.ctr_apply(&counter, &mut data);
+        assert_eq!(
+            hex(&data),
+            concat!(
+                "874d6191b620e3261bef6864990db6ce",
+                "9806f66b7970fdff8617187bb9fffdff",
+                "5ae4df3edbd5d35e5b4f09020db03eab",
+                "1e031dda2fbe03d1792170a0f3009cee",
+            )
+        );
+        aes.ctr_apply(&counter, &mut data);
+        assert_eq!(data, nist_plaintext());
+    }
+
+    #[test]
+    fn fast_path_matches_reference_blocks() {
+        // Deterministic pseudo-random keys/blocks; the proptest suite in
+        // tests/properties.rs covers truly random ones.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let mut key = [0u8; 16];
+            let mut block = [0u8; 16];
+            for c in key.chunks_mut(8) {
+                c.copy_from_slice(&next().to_be_bytes());
+            }
+            for c in block.chunks_mut(8) {
+                c.copy_from_slice(&next().to_be_bytes());
+            }
+            let aes = Aes128::new(&key);
+            let mut fast = block;
+            aes.encrypt_block(&mut fast);
+            let mut slow = block;
+            reference::encrypt_block(&aes, &mut slow);
+            assert_eq!(fast, slow, "encrypt diverged for key {key:02x?}");
+            let mut fast_d = fast;
+            aes.decrypt_block(&mut fast_d);
+            let mut slow_d = slow;
+            reference::decrypt_block(&aes, &mut slow_d);
+            assert_eq!(fast_d, block);
+            assert_eq!(slow_d, block);
+        }
+    }
+
+    #[test]
+    fn reference_mode_switches_implementation_not_output() {
+        let aes = Aes128::new(b"0123456789abcdef");
+        let iv = *b"fedcba9876543210";
+        let msg: Vec<u8> = (0..777).map(|i| (i * 13 % 256) as u8).collect();
+        let fast_ct = aes.cbc_encrypt(&iv, &msg);
+        let mut fast_ctr = msg.clone();
+        aes.ctr_apply(&iv, &mut fast_ctr);
+        set_reference_mode(true);
+        let ref_ct = aes.cbc_encrypt(&iv, &msg);
+        let mut ref_ctr = msg.clone();
+        aes.ctr_apply(&iv, &mut ref_ctr);
+        let ref_pt = aes.cbc_decrypt(&iv, &fast_ct);
+        set_reference_mode(false);
+        assert_eq!(fast_ct, ref_ct, "CBC fast path must be byte-identical");
+        assert_eq!(fast_ctr, ref_ctr, "CTR fast path must be byte-identical");
+        assert_eq!(ref_pt.as_deref(), Some(&msg[..]), "cross decrypt");
+        assert_eq!(aes.cbc_decrypt(&iv, &ref_ct).as_deref(), Some(&msg[..]));
     }
 
     #[test]
@@ -371,5 +811,21 @@ mod tests {
         aes.ctr_apply(&nonce, &mut a);
         // Second block keystream must differ from the first.
         assert_ne!(a[..16], a[16..]);
+    }
+
+    #[test]
+    fn ctr_counter_wraps_carry() {
+        // Trailing counter 0xffffffff must carry into a wrap, matching
+        // the reference path bit-for-bit.
+        let aes = Aes128::new(b"0123456789abcdef");
+        let mut nonce = [9u8; 16];
+        nonce[12..].copy_from_slice(&0xffff_ffffu32.to_be_bytes());
+        let mut fast = vec![0u8; 50];
+        aes.ctr_apply(&nonce, &mut fast);
+        let mut slow = vec![0u8; 50];
+        set_reference_mode(true);
+        aes.ctr_apply(&nonce, &mut slow);
+        set_reference_mode(false);
+        assert_eq!(fast, slow);
     }
 }

@@ -6,7 +6,7 @@
 //! - [`prf_expand`]: a TLS-1.2-style PRF used by the `tls-sim` baseline so
 //!   both protocols derive keys with the same primitive (HMAC-SHA-256).
 
-use crate::hmac::hmac_sha256;
+use crate::hmac::HmacKey;
 use crate::sha256::{sha256_multi, DIGEST_LEN};
 
 /// RFC 5201 §6.5 KEYMAT generation.
@@ -37,19 +37,21 @@ pub fn keymat(kij: &[u8], hit_a: &[u8; 16], hit_b: &[u8; 16], i: u64, j: u64, ou
 }
 
 /// TLS-1.2-style P_SHA256 expansion: `P_hash(secret, label || seed)`.
+///
+/// Every iteration needs two HMACs under the same `secret` (plus the
+/// initial `A(1)`), so the key transcripts are precomputed once via
+/// [`HmacKey`] instead of re-deriving the key block per HMAC.
 pub fn prf_expand(secret: &[u8], label: &[u8], seed: &[u8], out_len: usize) -> Vec<u8> {
+    let key = HmacKey::new(secret);
     let mut label_seed = Vec::with_capacity(label.len() + seed.len());
     label_seed.extend_from_slice(label);
     label_seed.extend_from_slice(seed);
     let mut out = Vec::with_capacity(out_len + DIGEST_LEN);
     // A(1) = HMAC(secret, label_seed); A(i) = HMAC(secret, A(i-1))
-    let mut a = hmac_sha256(secret, &label_seed);
+    let mut a = key.mac(&label_seed);
     while out.len() < out_len {
-        let mut block_input = Vec::with_capacity(DIGEST_LEN + label_seed.len());
-        block_input.extend_from_slice(&a);
-        block_input.extend_from_slice(&label_seed);
-        out.extend_from_slice(&hmac_sha256(secret, &block_input));
-        a = hmac_sha256(secret, &a);
+        out.extend_from_slice(&key.mac_multi(&[&a, &label_seed]));
+        a = key.mac(&a);
     }
     out.truncate(out_len);
     out

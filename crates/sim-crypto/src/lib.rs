@@ -36,6 +36,6 @@ pub use aes::Aes128;
 pub use bigint::BigUint;
 pub use dh::{DhGroup, DhKeyPair};
 pub use ecdsa::{EcdsaKeyPair, EcdsaPublicKey, EcdsaSignature};
-pub use hmac::{hmac_sha256, HmacSha256};
+pub use hmac::{hmac_sha256, HmacKey, HmacSha256};
 pub use rsa::{RsaKeyPair, RsaPublicKey};
 pub use sha256::{sha256, Sha256};

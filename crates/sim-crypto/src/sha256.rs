@@ -45,7 +45,9 @@ impl Sha256 {
         Sha256 { state: H0, buf: [0; BLOCK_LEN], buf_len: 0, total_len: 0 }
     }
 
-    /// Absorbs `data`.
+    /// Absorbs `data`. Block-aligned input with an empty buffer is
+    /// compressed directly from the input slice — no staging copy
+    /// through the internal buffer.
     pub fn update(&mut self, data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
         let mut data = data;
@@ -62,9 +64,7 @@ impl Sha256 {
         }
         while data.len() >= BLOCK_LEN {
             let (block, rest) = data.split_at(BLOCK_LEN);
-            let mut b = [0u8; BLOCK_LEN];
-            b.copy_from_slice(block);
-            self.compress(&b);
+            self.compress(block.try_into().expect("one block"));
             data = rest;
         }
         if !data.is_empty() {

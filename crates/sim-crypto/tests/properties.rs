@@ -3,9 +3,9 @@
 //! symmetric primitives.
 
 use proptest::prelude::*;
-use sim_crypto::aes::Aes128;
+use sim_crypto::aes::{reference, Aes128};
 use sim_crypto::bigint::BigUint;
-use sim_crypto::hmac::{hmac_sha256, verify_mac};
+use sim_crypto::hmac::{hmac_sha256, verify_mac, HmacKey};
 use sim_crypto::kdf::{keymat, prf_expand};
 use sim_crypto::sha256::{sha256, Sha256};
 
@@ -136,6 +136,60 @@ proptest! {
         aes.ctr_apply(&nonce, &mut data);
         aes.ctr_apply(&nonce, &mut data);
         prop_assert_eq!(data, msg);
+    }
+
+    #[test]
+    fn ttable_encrypt_matches_bytewise_reference(
+        key in any::<[u8; 16]>(),
+        block in any::<[u8; 16]>(),
+    ) {
+        let aes = Aes128::new(&key);
+        let mut fast = block;
+        aes.encrypt_block(&mut fast);
+        let mut slow = block;
+        reference::encrypt_block(&aes, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn ttable_decrypt_matches_bytewise_reference(
+        key in any::<[u8; 16]>(),
+        block in any::<[u8; 16]>(),
+    ) {
+        let aes = Aes128::new(&key);
+        let mut fast = block;
+        aes.decrypt_block(&mut fast);
+        let mut slow = block;
+        reference::decrypt_block(&aes, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn aes_cbc_round_trips_all_short_lengths(
+        key in any::<[u8; 16]>(),
+        iv in any::<[u8; 16]>(),
+        fill in any::<u8>(),
+        len in 0usize..64,
+    ) {
+        let msg = vec![fill; len];
+        let aes = Aes128::new(&key);
+        let ct = aes.cbc_encrypt(&iv, &msg);
+        prop_assert_eq!(aes.cbc_decrypt(&iv, &ct).expect("valid"), msg);
+    }
+
+    #[test]
+    fn cached_hmac_key_matches_oneshot(
+        key in proptest::collection::vec(any::<u8>(), 0..100),
+        msg in proptest::collection::vec(any::<u8>(), 0..500),
+        cut in 0usize..500,
+    ) {
+        let cached = HmacKey::new(&key);
+        prop_assert_eq!(cached.mac(&msg), hmac_sha256(&key, &msg));
+        let split = cut.min(msg.len());
+        prop_assert_eq!(
+            cached.mac_multi(&[&msg[..split], &msg[split..]]),
+            hmac_sha256(&key, &msg)
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! where the MAC is HMAC-SHA-256 over `seq (8) | ciphertext`, truncated.
 
 use sim_crypto::aes::Aes128;
-use sim_crypto::hmac::{hmac_sha256, verify_mac};
+use sim_crypto::hmac::{verify_mac, HmacKey};
 
 /// Record content types.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -87,7 +87,9 @@ impl Deframer {
 /// One direction of record protection.
 pub struct RecordCipher {
     cipher: Aes128,
-    mac_key: [u8; 32],
+    /// Cached HMAC transcripts, absorbed once per connection and cloned
+    /// per record.
+    mac_key: HmacKey,
     seq: u64,
 }
 
@@ -97,7 +99,7 @@ pub const MAC_LEN: usize = 16;
 impl RecordCipher {
     /// Builds from traffic keys.
     pub fn new(enc_key: [u8; 16], mac_key: [u8; 32]) -> Self {
-        RecordCipher { cipher: Aes128::new(&enc_key), mac_key, seq: 0 }
+        RecordCipher { cipher: Aes128::new(&enc_key), mac_key: HmacKey::new(&mac_key), seq: 0 }
     }
 
     /// Protects an application payload.
@@ -132,10 +134,7 @@ impl RecordCipher {
     }
 
     fn mac(&self, seq: u64, data: &[u8]) -> [u8; MAC_LEN] {
-        let mut input = Vec::with_capacity(8 + data.len());
-        input.extend_from_slice(&seq.to_be_bytes());
-        input.extend_from_slice(data);
-        let full = hmac_sha256(&self.mac_key, &input);
+        let full = self.mac_key.mac_multi(&[&seq.to_be_bytes(), data]);
         full[..MAC_LEN].try_into().expect("truncate")
     }
 }

@@ -21,7 +21,7 @@ use netsim::SimDuration;
 use rand::rngs::StdRng;
 use rand::RngExt;
 use sim_crypto::dh::{DhGroup, DhKeyPair};
-use sim_crypto::hmac::{hmac_sha256, verify_mac};
+use sim_crypto::hmac::{verify_mac, HmacKey};
 use sim_crypto::kdf::prf_expand;
 use sim_crypto::rsa::RsaKeyPair;
 use sim_crypto::rsa::RsaPublicKey;
@@ -120,7 +120,9 @@ pub struct TlsSession {
     transcript: Vec<u8>,
     client_random: [u8; 32],
     server_random: [u8; 32],
-    master: Vec<u8>,
+    /// Cached HMAC transcripts for the master secret (set by
+    /// `derive_keys`), used for both finished MACs.
+    master: Option<HmacKey>,
     tx: Option<RecordCipher>,
     rx: Option<RecordCipher>,
     iv_rng_state: u64,
@@ -145,7 +147,7 @@ impl TlsSession {
             transcript: Vec::new(),
             client_random: [0; 32],
             server_random: [0; 32],
-            master: Vec::new(),
+            master: None,
             tx: None,
             rx: None,
             iv_rng_state: 0x5deece66d,
@@ -162,7 +164,7 @@ impl TlsSession {
             transcript: Vec::new(),
             client_random: [0; 32],
             server_random: [0; 32],
-            master: Vec::new(),
+            master: None,
             tx: None,
             rx: None,
             iv_rng_state: 0xb5026f5aa,
@@ -249,8 +251,9 @@ impl TlsSession {
         let mut seed = Vec::with_capacity(64);
         seed.extend_from_slice(&self.client_random);
         seed.extend_from_slice(&self.server_random);
-        self.master = prf_expand(kij, b"master secret", &seed, 48);
-        let keys = prf_expand(&self.master, b"key expansion", &seed, 2 * (16 + 32));
+        let master = prf_expand(kij, b"master secret", &seed, 48);
+        let keys = prf_expand(&master, b"key expansion", &seed, 2 * (16 + 32));
+        self.master = Some(HmacKey::new(&master));
         let c2s_enc: [u8; 16] = keys[0..16].try_into().expect("slice");
         let c2s_mac: [u8; 32] = keys[16..48].try_into().expect("slice");
         let s2c_enc: [u8; 16] = keys[48..64].try_into().expect("slice");
@@ -269,7 +272,14 @@ impl TlsSession {
 
     fn finished_data(&self, label: &[u8]) -> [u8; 32] {
         let th = sha256(&self.transcript);
-        hmac_sha256(&self.master, &[label, &th].concat())
+        // Incremental transcript over the segments — no `[..].concat()`
+        // temporary — from the cached master-secret key. A FINISHED
+        // arriving before key derivation (malformed peer) MACs under the
+        // empty key, as the pre-cache code did, and fails verification.
+        match &self.master {
+            Some(key) => key.mac_multi(&[label, &th]),
+            None => HmacKey::new(&[]).mac_multi(&[label, &th]),
+        }
     }
 
     fn on_handshake(&mut self, body: &[u8], rng: &mut StdRng, out: &mut TlsOutput) {
