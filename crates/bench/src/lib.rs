@@ -11,5 +11,6 @@
 pub mod fig2;
 pub mod fig3;
 pub mod report;
+pub mod resilience;
 pub mod sweep;
 pub mod tab_rt;

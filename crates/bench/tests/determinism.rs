@@ -137,3 +137,29 @@ fn different_seeds_differ() {
         "different seeds gave identical fingerprints — fingerprint too weak"
     );
 }
+
+#[test]
+fn fault_storyline_is_deterministic() {
+    // The resilience harness injects crashes, loss bursts and a
+    // partition mid-run; the same seed + storyline must still reproduce
+    // every observable bit-for-bit (fault checks must not perturb the
+    // RNG draw sequence).
+    use bench::resilience::{run_cell, Storyline};
+    let story = Storyline::quick();
+    let a = run_cell(Scenario::HipLsi, 13, story);
+    let b = run_cell(Scenario::HipLsi, 13, story);
+    assert!(a.point.ok_total > 0, "storyline run must serve requests");
+    assert_eq!(a.dispatched, b.dispatched, "event counts diverged under faults");
+    assert_eq!(a.point.ok_total, b.point.ok_total);
+    assert_eq!(a.point.err_total, b.point.err_total);
+    assert_eq!(a.timeline.ok, b.timeline.ok, "goodput timelines diverged");
+    assert_eq!(a.timeline.err, b.timeline.err, "error timelines diverged");
+    assert_eq!(
+        a.metrics.to_json(),
+        b.metrics.to_json(),
+        "metrics diverged under faults"
+    );
+    // The storyline actually exercised the fault machinery.
+    assert!(a.point.proxy.ejections >= 1, "no ejections: {:?}", a.point.proxy);
+    assert!(a.point.ttr_crash_s.is_some(), "crash never recovered");
+}

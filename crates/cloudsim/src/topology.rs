@@ -281,6 +281,37 @@ impl CloudTopology {
         let deadline = self.sim.now() + d;
         self.sim.run_until(deadline);
     }
+
+    // ----- fault injection (thin wrappers over `netsim::FaultAction`) -----
+
+    /// Schedules a VM (or external host) crash `after` from now: its
+    /// network stack resets and all traffic/timers addressed to it are
+    /// discarded until [`CloudTopology::restart_vm`].
+    pub fn crash_vm(&mut self, vm: VmHandle, after: SimDuration) {
+        self.sim.schedule_fault(after, netsim::FaultAction::NodeCrash(vm.node));
+    }
+
+    /// Schedules a restart of a crashed VM `after` from now; its shim
+    /// and apps boot afresh (listeners re-open, HIP associations re-run
+    /// the base exchange on demand).
+    pub fn restart_vm(&mut self, vm: VmHandle, after: SimDuration) {
+        self.sim.schedule_fault(after, netsim::FaultAction::NodeRestart(vm.node));
+    }
+
+    /// Schedules a loss burst on a VM's access link: for `duration`
+    /// starting `after` from now, the link drops packets with
+    /// probability `loss`.
+    pub fn loss_burst(&mut self, vm: VmHandle, after: SimDuration, loss: f64, duration: SimDuration) {
+        self.sim.schedule_fault(after, netsim::FaultAction::BurstStart { link: vm.link, loss });
+        self.sim.schedule_fault(after + duration, netsim::FaultAction::BurstEnd { link: vm.link });
+    }
+
+    /// Schedules an administrative cut of a VM's access link from
+    /// `after` until `after + duration` (a single-VM "partition").
+    pub fn cut_vm_link(&mut self, vm: VmHandle, after: SimDuration, duration: SimDuration) {
+        self.sim.schedule_fault(after, netsim::FaultAction::LinkDown(vm.link));
+        self.sim.schedule_fault(after + duration, netsim::FaultAction::LinkUp(vm.link));
+    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,11 @@ pub struct HipStats {
     pub closes: u64,
     /// Control packets retransmitted.
     pub retransmissions: u64,
+    /// NOTIFY(stale SPI) packets sent for ESP with no matching SA.
+    pub notifies_sent: u64,
+    /// Associations torn down and re-negotiated after a peer reported
+    /// our SPI stale (it crashed and lost its SAs).
+    pub stale_spi_rebex: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -218,6 +223,8 @@ pub struct HipShim {
     pub rvs_registered: bool,
     /// Monotonic registration sequence (RVS replay guard).
     reg_seq: u32,
+    /// Last NOTIFY(stale SPI) per unknown SPI, for rate limiting.
+    notify_limiter: HashMap<u32, SimTime>,
 }
 
 impl HipShim {
@@ -241,6 +248,7 @@ impl HipShim {
             stats: HipStats::default(),
             rvs_registered: false,
             reg_seq: 0,
+            notify_limiter: HashMap::new(),
         }
     }
 
@@ -839,9 +847,14 @@ impl HipShim {
         api.send_wire(delay, wire);
     }
 
-    fn on_esp(&mut self, api: &mut ShimApi, esp: &netsim::packet::EspPacket, _wire: &Packet) {
+    fn on_esp(&mut self, api: &mut ShimApi, esp: &netsim::packet::EspPacket, wire: &Packet) {
         let Some(&peer) = self.spi_in.get(&esp.spi) else {
             self.stats.drops_no_sa += 1;
+            // The sender believes this SPI is live — most likely we
+            // crashed and lost the SA. Tell it so it can re-run BEX
+            // instead of blackholing ESP forever; at most one NOTIFY per
+            // SPI per sim-second so a blast of stale ESP costs one reply.
+            self.notify_stale_spi(api, esp.spi, wire.src);
             return;
         };
         if self.firewall.check(&peer) == Action::Deny {
@@ -892,6 +905,60 @@ impl HipShim {
                 api.metrics().add_name("esp.drop.auth", 1);
             }
         }
+    }
+
+    /// Sends NOTIFY(stale SPI) to `dst`: ESP arrived for an SPI we have
+    /// no SA for. Rate-limited to one per SPI per sim-second.
+    fn notify_stale_spi(&mut self, api: &mut ShimApi, spi: u32, dst: IpAddr) {
+        let now = api.now();
+        if self
+            .notify_limiter
+            .get(&spi)
+            .is_some_and(|t| now.since(*t) < SimDuration::from_secs(1))
+        {
+            return;
+        }
+        self.notify_limiter.insert(spi, now);
+        let Some(src) = api.local_locator(&dst) else { return };
+        // Unsigned by necessity: we lost the keys along with the SA. The
+        // receiver applies its own off-path checks before acting.
+        let notify = HipPacket::new(
+            PacketType::Notify,
+            self.hit(),
+            Hit::NULL,
+            vec![Param::EspInfo { old_spi: spi, new_spi: 0 }],
+        );
+        self.send_control(api, self.config.costs.hit_lookup, &notify, src, dst);
+        self.stats.notifies_sent += 1;
+        api.metrics().add_name("hip.notify.stale_spi", 1);
+        api.trace_state(|| format!("NOTIFY: stale SPI {spi:08x} -> {dst}"));
+    }
+
+    /// Handles NOTIFY(stale SPI): the peer cannot decrypt what we send
+    /// on `old_spi` — it crashed and lost its SAs. The NOTIFY is
+    /// unauthenticated (the peer has no keys anymore), so it is only
+    /// honored if it arrives from the exact locator of an established
+    /// association *and* echoes the SPI we are currently sending on —
+    /// two values an off-path attacker does not know. Tear the
+    /// association down and re-run the base exchange.
+    fn on_notify(&mut self, api: &mut ShimApi, pkt: &HipPacket, wire: &Packet) {
+        let Some((old_spi, _)) = pkt.esp_info() else { return };
+        let peer = self.assocs.iter().find_map(|(h, a)| {
+            (a.state == AssocState::Established
+                && a.peer_locator == wire.src
+                && a.sa_out.as_ref().is_some_and(|sa| sa.spi == old_spi))
+            .then_some(*h)
+        });
+        let Some(peer) = peer else { return };
+        if let Some(rtx) = self.teardown(&peer) {
+            api.cancel_timer(rtx.engine_timer);
+        }
+        self.stats.stale_spi_rebex += 1;
+        api.metrics().add_name("hip.rebex.stale_spi", 1);
+        api.trace_state(|| {
+            format!("NOTIFY: peer {peer:?} lost SPI {old_spi:08x}, re-running BEX")
+        });
+        self.initiate(api, peer, None);
     }
 
     // ------------------------------------------------------------------
@@ -1062,7 +1129,8 @@ impl L35Shim for HipShim {
                     PacketType::RegResponse => {
                         self.rvs_registered = true;
                     }
-                    PacketType::Notify | PacketType::RegRequest => {}
+                    PacketType::Notify => self.on_notify(api, &hip, &pkt),
+                    PacketType::RegRequest => {}
                 }
             }
             _ => {}
@@ -1090,6 +1158,13 @@ impl L35Shim for HipShim {
             // above), so teardown's pending Rtx needs no cancel.
             self.teardown(&peer);
             api.trace_state(|| format!("BEX/UPDATE with {peer:?} failed after {max} retries"));
+            api.metrics().add_name("hip.bex.exhausted", 1);
+            // The peer is unreachable: fail TCP connections addressed to
+            // its HIT or LSI so applications see an explicit connect
+            // error instead of hanging on a silently dead exchange.
+            let lsi = self.lsi.lsi_for(peer);
+            api.notify_unreachable(peer.to_ip());
+            api.notify_unreachable(IpAddr::V4(lsi));
             return;
         }
         let bytes = rtx.bytes.clone();
@@ -1099,6 +1174,27 @@ impl L35Shim for HipShim {
         self.stats.retransmissions += 1;
         api.send_wire(SimDuration::ZERO, Packet::new(src, dst, Payload::HipControl(bytes.clone())));
         self.arm_rtx(api, peer, bytes, dst, tries);
+    }
+
+    fn on_crash(&mut self, api: &mut ShimApi) {
+        // Lose all runtime protocol state: associations, SAs, the R1
+        // pool and outstanding retransmissions. Identity, the peer
+        // directory and LSI mappings survive — they model configuration
+        // baked into the image, not state. `start` rebuilds the R1 pool
+        // and re-registers with the RVS (reg_seq stays monotonic so the
+        // replay guard holds across the restart).
+        for a in self.assocs.values_mut() {
+            if let Some(rtx) = a.rtx.take() {
+                api.cancel_timer(rtx.engine_timer);
+            }
+        }
+        self.assocs.clear();
+        self.spi_in.clear();
+        self.r1_pool.clear();
+        self.active_puzzles.clear();
+        self.timers.clear();
+        self.notify_limiter.clear();
+        self.rvs_registered = false;
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -7,7 +7,7 @@ use hip_core::identity::{Hit, HostIdentity};
 use netsim::host::{App, AppEvent, Host, HostApi};
 use netsim::packet::v4;
 use netsim::tcp::TcpEvent;
-use netsim::{Endpoint, LinkParams, NodeId, Sim, SimTime};
+use netsim::{Endpoint, FaultAction, LinkParams, NodeId, Sim, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::any::Any;
@@ -211,6 +211,76 @@ fn lsi_mode_carries_legacy_ipv4_traffic() {
     assert!(client.connected, "LSI-addressed TCP connected");
     assert_eq!(client.reply, b"legacy app data");
     let _ = hit_a;
+}
+
+#[test]
+fn bex_exhaustion_delivers_connect_failed() {
+    let mut net = two_hip_hosts(HipConfig::default, |_a, _b| {});
+    let hit_b = net.hit_b;
+    {
+        let host = net.sim.world.node_mut::<Host>(net.a).unwrap();
+        host.add_app(Box::new(EchoClient::new(hit_b.to_ip(), b"never delivered")));
+        let host = net.sim.world.node_mut::<Host>(net.b).unwrap();
+        host.add_app(Box::new(EchoServer { served: 0 }));
+    }
+    // The responder is down from the start: I1 retransmits until
+    // max_retransmits (5 × 500 ms), then the shim gives up and must fail
+    // the TCP connect upward instead of leaving it hanging.
+    net.sim.schedule_fault(SimDuration::ZERO, FaultAction::NodeCrash(net.b));
+    net.sim.run_until(SimTime(10_000_000_000));
+    let client = net.sim.world.node::<Host>(net.a).unwrap().app::<EchoClient>(0).unwrap();
+    assert!(!client.connected);
+    assert!(client.failed, "BEX exhaustion must surface as ConnectFailed");
+    let sa = stats_of(&net.sim, net.a);
+    assert_eq!(sa.bex_failed, 1);
+    assert_eq!(sa.retransmissions, 5);
+}
+
+#[test]
+fn peer_restart_triggers_rebex_and_traffic_resumes() {
+    let mut net = two_hip_hosts(HipConfig::default, |_a, _b| {});
+    let hit_b = net.hit_b;
+    {
+        let host = net.sim.world.node_mut::<Host>(net.a).unwrap();
+        host.add_app(Box::new(EchoClient::new(hit_b.to_ip(), b"before the crash")));
+        let host = net.sim.world.node_mut::<Host>(net.b).unwrap();
+        host.add_app(Box::new(EchoServer { served: 0 }));
+    }
+    net.sim.run_until(SimTime(5_000_000_000));
+    assert_eq!(stats_of(&net.sim, net.a).bex_completed, 1, "baseline association up");
+
+    // Crash the responder; it restarts 100 ms later with no SAs, while
+    // the initiator still believes the old association is live.
+    net.sim.schedule_fault(SimDuration::ZERO, FaultAction::NodeCrash(net.b));
+    net.sim.schedule_fault(SimDuration::from_millis(100), FaultAction::NodeRestart(net.b));
+    net.sim.run_until(SimTime(6_000_000_000));
+
+    // Reconnect through the stale association: the ESP-wrapped SYN hits
+    // the restarted peer's empty SPI table → NOTIFY → teardown + re-BEX
+    // → TCP retransmission flows over the fresh SA. No manual cleanup.
+    let a = net.a;
+    net.sim.with_node_ctx(a, |node, ctx| {
+        let host = node.as_any_mut().downcast_mut::<Host>().unwrap();
+        host.with_api(0, ctx, |app, api| {
+            let app = app.as_any_mut().downcast_mut::<EchoClient>().unwrap();
+            app.connected = false;
+            app.reply.clear();
+            app.message = b"after the restart".to_vec();
+            assert!(api.tcp_connect(app.target, 7).is_some());
+        });
+    });
+    net.sim.run_until(SimTime(15_000_000_000));
+
+    let client = net.sim.world.node::<Host>(net.a).unwrap().app::<EchoClient>(0).unwrap();
+    assert!(client.connected, "TCP reconnected over the re-established association");
+    assert_eq!(client.reply, b"after the restart");
+    let sa = stats_of(&net.sim, net.a);
+    let sb = stats_of(&net.sim, net.b);
+    assert_eq!(sa.stale_spi_rebex, 1, "exactly one NOTIFY-triggered re-BEX: {sa:?}");
+    assert!(sb.notifies_sent >= 1, "restarted peer reported the stale SPI: {sb:?}");
+    assert_eq!(sa.bex_completed, 2, "original + re-run BEX");
+    let shim_a = net.sim.world.node::<Host>(net.a).unwrap().shim::<HipShim>().unwrap();
+    assert!(shim_a.is_established(&hit_b));
 }
 
 #[test]

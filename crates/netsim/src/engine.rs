@@ -17,7 +17,7 @@
 //! the schedule of other events, keeping traces identical whether or
 //! not a protocol layer bothers to cancel.
 
-use crate::link::{Endpoint, Link, LinkId, LinkParams, NodeId, TxResult};
+use crate::link::{DropCause, Endpoint, Link, LinkId, LinkParams, NodeId, TxResult};
 use crate::packet::Packet;
 use crate::sched::CalendarQueue;
 use crate::time::{SimDuration, SimTime};
@@ -169,6 +169,67 @@ pub enum Event {
         /// The packet.
         pkt: Packet,
     },
+    /// A fault-injection transition (see [`crate::fault`]). Applied by
+    /// the engine itself, where the world is owned; every application is
+    /// traced and counted so episodes are visible in run manifests.
+    Fault {
+        /// The transition to apply.
+        action: FaultAction,
+    },
+}
+
+/// A single fault transition the engine knows how to apply. Higher-level
+/// episodes ([`crate::fault::FaultEpisode`]) compile down to one or more
+/// of these scheduled through the ordinary calendar queue, so fault
+/// timing obeys the same `(time, seq)` determinism as everything else.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Administratively cut a link (both directions).
+    LinkDown(LinkId),
+    /// Restore an administratively cut link.
+    LinkUp(LinkId),
+    /// Start a loss burst on a link: effective loss becomes
+    /// `max(params.loss, loss)`.
+    BurstStart {
+        /// The affected link.
+        link: LinkId,
+        /// Burst loss probability in [0, 1).
+        loss: f64,
+    },
+    /// End a loss burst.
+    BurstEnd {
+        /// The affected link.
+        link: LinkId,
+    },
+    /// Add extra one-way delay to a link.
+    SpikeStart {
+        /// The affected link.
+        link: LinkId,
+        /// The extra delay.
+        extra: SimDuration,
+    },
+    /// Remove the extra delay.
+    SpikeEnd {
+        /// The affected link.
+        link: LinkId,
+    },
+    /// Crash a node: its stack is reset via [`Node::on_crash`] and all
+    /// traffic and timers addressed to it are discarded until restart.
+    NodeCrash(NodeId),
+    /// Restart a crashed node via [`Node::on_restart`].
+    NodeRestart(NodeId),
+    /// Sever a set of links at once (a network partition). The set is
+    /// tracked separately from [`FaultAction::LinkDown`] so healing a
+    /// partition never un-cuts an explicitly downed link.
+    Partition {
+        /// The links crossing the partition boundary.
+        links: Vec<LinkId>,
+    },
+    /// Heal a partition.
+    Heal {
+        /// The links to restore.
+        links: Vec<LinkId>,
+    },
 }
 
 /// Interface index used for packets a node delivers to itself (e.g. the
@@ -185,6 +246,14 @@ pub trait Node: Any {
 
     /// A timer this node registered has fired.
     fn handle_timer(&mut self, _timer: TimerHandle, _ctx: &mut Ctx) {}
+
+    /// The node just crashed (a `NodeCrash` fault): drop volatile state
+    /// and cancel owned timers. Default: no-op.
+    fn on_crash(&mut self, _ctx: &mut Ctx) {}
+
+    /// The node just came back up (a `NodeRestart` fault): re-initialise
+    /// as on [`Node::start`]. Default: no-op.
+    fn on_restart(&mut self, _ctx: &mut Ctx) {}
 
     /// Downcasting support for experiment harnesses and tests.
     fn as_any(&self) -> &dyn Any;
@@ -272,11 +341,14 @@ impl Ctx<'_> {
                 self.trace.record(self.now, self.node, || TraceData::Tx(pkt_info(&pkt)));
                 self.emitted.push((at, Event::PacketArrive { node: to.node, iface: to.iface, pkt }));
             }
-            TxResult::Dropped => {
+            TxResult::Dropped { cause } => {
                 self.metrics.inc(self.ids.link_drops);
+                if matches!(cause, DropCause::Burst | DropCause::LinkDown | DropCause::Partition) {
+                    self.metrics.add_name(cause.reason(), 1);
+                }
                 self.trace.record(self.now, self.node, || TraceData::Drop {
                     pkt: Some(pkt_info(&pkt)),
-                    reason: "link drop".to_string(),
+                    reason: cause.reason().to_string(),
                 });
             }
         }
@@ -450,6 +522,9 @@ pub struct Sim {
     started: bool,
     slots: TimerSlots,
     stats: SimStats,
+    /// `crashed[node]` while a `NodeCrash` fault is in effect: packets,
+    /// timers and transmissions involving the node are discarded.
+    crashed: Vec<bool>,
     /// Recycled `Ctx::emitted` buffer so each dispatch reuses one
     /// allocation instead of growing a fresh `Vec`.
     scratch_emitted: Vec<(SimTime, Event)>,
@@ -472,6 +547,7 @@ impl Sim {
             started: false,
             slots: TimerSlots::default(),
             stats: SimStats::default(),
+            crashed: Vec::new(),
             scratch_emitted: Vec::new(),
         }
     }
@@ -513,6 +589,24 @@ impl Sim {
         self.seq += 1;
         self.stats.scheduled += 1;
         self.queue.push(at, self.seq, event);
+    }
+
+    /// Schedules a fault transition after `delay` (sugar for pushing an
+    /// [`Event::Fault`] through the ordinary queue).
+    pub fn schedule_fault(&mut self, delay: SimDuration, action: FaultAction) {
+        self.schedule(delay, Event::Fault { action });
+    }
+
+    /// Whether a `NodeCrash` fault is currently in effect for `node`.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.get(node.0).copied().unwrap_or(false)
+    }
+
+    fn set_crashed(&mut self, node: NodeId, down: bool) {
+        if self.crashed.len() <= node.0 {
+            self.crashed.resize(node.0 + 1, false);
+        }
+        self.crashed[node.0] = down;
     }
 
     /// Calls `start` on every node exactly once (idempotent).
@@ -596,6 +690,13 @@ impl Sim {
                 if self.world.nodes.get(node.0).map(Option::is_some) != Some(true) {
                     return; // node removed mid-flight; drop silently
                 }
+                if self.is_crashed(node) {
+                    self.trace.record(self.now, node, || TraceData::Drop {
+                        pkt: Some(pkt_info(&pkt)),
+                        reason: "fault.node_down".to_string(),
+                    });
+                    return;
+                }
                 self.with_node(node, |n, ctx| {
                     ctx.trace.record(ctx.now, node, || TraceData::Rx(pkt_info(&pkt)));
                     n.handle_packet(iface, pkt, ctx);
@@ -605,6 +706,9 @@ impl Sim {
                 self.metrics.inc(self.engine_ids.ev_timer);
                 if self.world.nodes.get(node.0).map(Option::is_some) != Some(true) {
                     return;
+                }
+                if self.is_crashed(node) {
+                    return; // timers die with the node
                 }
                 if self.trace.timers_enabled() {
                     self.trace.record(self.now, node, || TraceData::TimerFire {
@@ -622,6 +726,9 @@ impl Sim {
                 if self.world.nodes.get(node.0).map(Option::is_some) != Some(true) {
                     return;
                 }
+                if self.is_crashed(node) {
+                    return;
+                }
                 if self.trace.timers_enabled() {
                     self.trace.record(self.now, node, || TraceData::TimerFire {
                         owner: timer.owner,
@@ -632,9 +739,19 @@ impl Sim {
             }
             Event::LinkTx { from, link, pkt } => {
                 self.metrics.inc(self.engine_ids.ev_linktx);
-                let l = &mut self.world.links[link.0];
+                // RNG draws happen unconditionally (before the crash
+                // check) so a crash never shifts the draw sequence of
+                // the surviving traffic within the same plan.
                 let loss_draw: f64 = self.rng.random();
                 let jitter_draw: f64 = self.rng.random();
+                if self.is_crashed(from) {
+                    self.trace.record(self.now, from, || TraceData::Drop {
+                        pkt: Some(pkt_info(&pkt)),
+                        reason: "fault.node_down".to_string(),
+                    });
+                    return;
+                }
+                let l = &mut self.world.links[link.0];
                 match l.transmit(from, pkt.wire_len(), self.now, loss_draw, jitter_draw) {
                     TxResult::Deliver { to, at } => {
                         self.trace.record(self.now, from, || TraceData::Tx(pkt_info(&pkt)));
@@ -646,15 +763,102 @@ impl Sim {
                             Event::PacketArrive { node: to.node, iface: to.iface, pkt },
                         );
                     }
-                    TxResult::Dropped => {
+                    TxResult::Dropped { cause } => {
                         self.metrics.inc(self.engine_ids.link_drops);
+                        if matches!(
+                            cause,
+                            DropCause::Burst | DropCause::LinkDown | DropCause::Partition
+                        ) {
+                            self.metrics.add_name(cause.reason(), 1);
+                        }
                         self.trace.record(self.now, from, || TraceData::Drop {
                             pkt: Some(pkt_info(&pkt)),
-                            reason: "link drop".to_string(),
+                            reason: cause.reason().to_string(),
                         });
                     }
                 }
             }
+            Event::Fault { action } => self.apply_fault(action),
+        }
+    }
+
+    /// Applies one fault transition: mutates link/node fault state,
+    /// invokes crash/restart hooks, and makes the transition visible in
+    /// both the trace and the metrics registry.
+    fn apply_fault(&mut self, action: FaultAction) {
+        let (node, counter, detail) = match &action {
+            FaultAction::LinkDown(l) => {
+                self.world.links[l.0].set_admin_down(true);
+                (self.world.links[l.0].a.node, "fault.link_down.episodes", format!("link {} down", l.0))
+            }
+            FaultAction::LinkUp(l) => {
+                self.world.links[l.0].set_admin_down(false);
+                (self.world.links[l.0].a.node, "fault.link_up.episodes", format!("link {} up", l.0))
+            }
+            FaultAction::BurstStart { link, loss } => {
+                self.world.links[link.0].set_burst_loss(*loss);
+                (
+                    self.world.links[link.0].a.node,
+                    "fault.loss_burst.episodes",
+                    format!("link {} loss burst p={loss:.3}", link.0),
+                )
+            }
+            FaultAction::BurstEnd { link } => {
+                self.world.links[link.0].set_burst_loss(0.0);
+                (self.world.links[link.0].a.node, "fault.loss_burst.cleared", format!("link {} loss burst cleared", link.0))
+            }
+            FaultAction::SpikeStart { link, extra } => {
+                self.world.links[link.0].set_extra_latency(*extra);
+                (
+                    self.world.links[link.0].a.node,
+                    "fault.latency_spike.episodes",
+                    format!("link {} latency spike +{:.1}ms", link.0, extra.as_secs_f64() * 1e3),
+                )
+            }
+            FaultAction::SpikeEnd { link } => {
+                self.world.links[link.0].set_extra_latency(SimDuration::ZERO);
+                (self.world.links[link.0].a.node, "fault.latency_spike.cleared", format!("link {} latency spike cleared", link.0))
+            }
+            FaultAction::NodeCrash(n) => (*n, "fault.node_crash.episodes", format!("node {} crash", n.0)),
+            FaultAction::NodeRestart(n) => (*n, "fault.node_restart.episodes", format!("node {} restart", n.0)),
+            FaultAction::Partition { links } => {
+                for l in links {
+                    self.world.links[l.0].set_partitioned(true);
+                }
+                let first = links.first().map(|l| self.world.links[l.0].a.node).unwrap_or(NodeId(0));
+                (first, "fault.partition.episodes", format!("partition cut {} links", links.len()))
+            }
+            FaultAction::Heal { links } => {
+                for l in links {
+                    self.world.links[l.0].set_partitioned(false);
+                }
+                let first = links.first().map(|l| self.world.links[l.0].a.node).unwrap_or(NodeId(0));
+                (first, "fault.heal.episodes", format!("healed {} links", links.len()))
+            }
+        };
+        self.metrics.add_name(counter, 1);
+        self.trace.record(self.now, node, || TraceData::Fault { detail });
+        match action {
+            // Idempotent: crashing a crashed node is a no-op (fault
+            // plans may overlap crash windows).
+            FaultAction::NodeCrash(n) if !self.is_crashed(n) => {
+                // The crash hook runs first (with the node still "up")
+                // so it can cancel timers through the context; only then
+                // does the crashed flag start discarding traffic.
+                if self.world.nodes.get(n.0).map(Option::is_some) == Some(true) {
+                    self.with_node(n, |node, ctx| node.on_crash(ctx));
+                }
+                self.set_crashed(n, true);
+            }
+            // Idempotent: restarting a running node is a no-op (a
+            // second boot would double-start listeners and apps).
+            FaultAction::NodeRestart(n) if self.is_crashed(n) => {
+                self.set_crashed(n, false);
+                if self.world.nodes.get(n.0).map(Option::is_some) == Some(true) {
+                    self.with_node(n, |node, ctx| node.on_restart(ctx));
+                }
+            }
+            _ => {}
         }
     }
 

@@ -67,6 +67,11 @@ pub trait App: Any {
     fn start(&mut self, _api: &mut HostApi) {}
     /// Called for every event addressed to this app.
     fn on_event(&mut self, ev: AppEvent, api: &mut HostApi);
+    /// Called when the host crashes: drop all connection state (socket
+    /// ids will be reused by the fresh TCP layer after restart) but keep
+    /// configuration and accumulated statistics. `start` runs again on
+    /// restart.
+    fn reset(&mut self) {}
     /// Downcast support.
     fn as_any(&self) -> &dyn Any;
     /// Mutable downcast support.
@@ -85,6 +90,10 @@ pub trait L35Shim: Any {
     fn inbound(&mut self, pkt: Packet, api: &mut ShimApi);
     /// A shim timer fired.
     fn on_timer(&mut self, _token: u64, _api: &mut ShimApi) {}
+    /// The host crashed: cancel engine timers, drop associations and
+    /// in-flight exchanges; keep identity and peer configuration.
+    /// `start` runs again on restart.
+    fn on_crash(&mut self, _api: &mut ShimApi) {}
     /// Downcast support.
     fn as_any(&self) -> &dyn Any;
     /// Mutable downcast support.
@@ -625,6 +634,40 @@ impl Node for Host {
         }
     }
 
+    fn on_crash(&mut self, ctx: &mut Ctx) {
+        // Shim first: it cancels its engine timers and drops protocol
+        // state while the context is still usable.
+        self.shim_call(ctx, |s, api| s.on_crash(api));
+        for app in &mut self.apps {
+            app.reset();
+        }
+        let core = &mut self.core;
+        for (_, t) in core.tcp_timer_tokens.drain() {
+            ctx.cancel_timer(t);
+        }
+        // A crash loses all transport state: fresh TCP layer (same
+        // config; listeners gone so restart's re-listen succeeds),
+        // cleared UDP bindings and in-flight queues. Interface and route
+        // configuration survives — the VM restarts on the same slot.
+        core.tcp = TcpLayer::new(core.tcp.config);
+        core.udp.bindings.clear();
+        core.udp.out.clear();
+        core.app_events.clear();
+        core.upper_out.clear();
+        core.icmp_owner.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        // Boot again: shim and apps re-run `start` (re-listen,
+        // re-establish pools). Teredo qualification state survived the
+        // crash intentionally — it models the hypervisor, not the guest.
+        self.shim_call(ctx, |s, api| s.start(api));
+        for i in 0..self.apps.len() {
+            self.dispatch_with(i, ctx, |a, api| a.start(api));
+        }
+        self.pump(ctx);
+    }
+
     fn handle_timer(&mut self, timer: TimerHandle, ctx: &mut Ctx) {
         match timer.owner {
             TimerOwner::Tcp => {
@@ -846,6 +889,14 @@ impl ShimApi<'_, '_> {
         self.core.register_virtual_addr(addr);
     }
 
+    /// Tears down every TCP connection to `dst`: the shim has determined
+    /// the peer is unreachable (e.g. BEX retransmissions exhausted), so
+    /// connecting sockets fail with `ConnectFailed` and established ones
+    /// see `Reset` instead of hanging forever.
+    pub fn notify_unreachable(&mut self, dst: IpAddr) {
+        self.core.tcp.abort_to(dst);
+    }
+
     /// A local locator suitable for reaching `peer_locator`.
     pub fn local_locator(&self, peer_locator: &IpAddr) -> Option<IpAddr> {
         self.core.locator_for(peer_locator)
@@ -970,6 +1021,55 @@ mod tests {
         assert_eq!(app.reply, b"hello through the stack");
         let hb = sim.world.node::<Host>(b).unwrap();
         assert_eq!(hb.app::<EchoServer>(server).unwrap().served, 1);
+    }
+
+    #[test]
+    fn host_crash_restart_relistens_and_serves() {
+        let (mut sim, a, b, client, server) = build_pair();
+        sim.run_until(SimTime(1_000_000_000)); // first echo completes
+        // Crash the server host, then bring it back up.
+        sim.schedule_fault(SimDuration::ZERO, FaultAction::NodeCrash(b));
+        sim.schedule_fault(SimDuration::from_millis(100), FaultAction::NodeRestart(b));
+        sim.run_until(SimTime(2_000_000_000));
+        // EchoServer::start asserts tcp_listen succeeds, so reaching here
+        // proves the crash cleared the old listener. Now reconnect.
+        sim.with_node_ctx(a, |node, ctx| {
+            let host = node.as_any_mut().downcast_mut::<Host>().unwrap();
+            host.with_api(client, ctx, |app, api| {
+                let app = app.as_any_mut().downcast_mut::<EchoClient>().unwrap();
+                app.connected = false;
+                app.reply.clear();
+                app.sock = api.tcp_connect(app.server, app.port);
+            });
+        });
+        sim.run_until(SimTime(4_000_000_000));
+        let ha = sim.world.node::<Host>(a).unwrap();
+        let app = ha.app::<EchoClient>(client).unwrap();
+        assert!(app.connected, "reconnect after restart");
+        assert_eq!(app.reply, b"hello through the stack");
+        let hb = sim.world.node::<Host>(b).unwrap();
+        assert_eq!(hb.app::<EchoServer>(server).unwrap().served, 2);
+    }
+
+    #[test]
+    fn abort_to_fails_connecting_sockets() {
+        let (mut sim, a, b, client, _server) = build_pair();
+        // Take the server down permanently before the SYN lands, then
+        // have the client's stack declare the peer unreachable.
+        sim.schedule_fault(SimDuration::ZERO, FaultAction::NodeCrash(b));
+        sim.run_until(SimTime(50_000_000));
+        let mut events = Vec::new();
+        sim.with_node_ctx(a, |node, ctx| {
+            let host = node.as_any_mut().downcast_mut::<Host>().unwrap();
+            host.core.tcp.abort_to(v4(10, 0, 0, 2));
+            events = host.core.tcp.events.clone();
+            host.pump(ctx);
+        });
+        assert_eq!(events.len(), 1);
+        assert!(
+            matches!(events[0], (idx, TcpEvent::ConnectFailed(_)) if idx == client),
+            "SynSent socket reports ConnectFailed: {events:?}"
+        );
     }
 
     #[test]

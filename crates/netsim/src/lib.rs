@@ -24,6 +24,7 @@ pub mod addr;
 pub mod cpu;
 pub mod dns;
 pub mod engine;
+pub mod fault;
 pub mod host;
 pub mod link;
 pub mod nat;
@@ -37,11 +38,12 @@ pub mod trace;
 
 pub use cpu::CpuModel;
 pub use engine::{
-    Ctx, Event, Node, RunOutcome, Sim, SimStats, TimerHandle, TimerOwner, TimerToken, World,
-    IFACE_INTERNAL,
+    Ctx, Event, FaultAction, Node, RunOutcome, Sim, SimStats, TimerHandle, TimerOwner, TimerToken,
+    World, IFACE_INTERNAL,
 };
+pub use fault::{FaultEpisode, FaultPlan};
 pub use host::{App, AppEvent, Host, HostApi, HostCore, L35Shim, ShimApi};
-pub use link::{Endpoint, Link, LinkId, LinkParams, NodeId};
+pub use link::{DropCause, Endpoint, Link, LinkId, LinkParams, NodeId};
 pub use packet::{Packet, Payload};
 pub use tcp::{SockId, TcpConfig, TcpEvent};
 pub use time::{SimDuration, SimTime};

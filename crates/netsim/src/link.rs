@@ -115,6 +115,46 @@ pub struct Link {
     pub params: LinkParams,
     /// `busy_until[0]` covers a→b, `[1]` covers b→a.
     busy_until: [SimTime; 2],
+    /// Administratively down (an explicit `LinkDown` fault episode).
+    admin_down: bool,
+    /// Down because a `Partition` fault separates its endpoints. Kept
+    /// separate from `admin_down` so `LinkUp` and `Heal` each restore
+    /// only the state their counterpart episode set.
+    partitioned: bool,
+    /// Extra loss probability during a `LossBurst` episode (0 = none);
+    /// the effective loss is `max(params.loss, burst_loss)`.
+    burst_loss: f64,
+    /// Extra one-way delay during a `LatencySpike` episode.
+    extra_latency: SimDuration,
+}
+
+/// Why a link refused a packet (drives the trace `drop` reason, so
+/// `jq`-based triage can split injected faults from organic loss).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropCause {
+    /// Random loss from `LinkParams::loss` (organic).
+    Loss,
+    /// Loss from an injected `LossBurst` episode.
+    Burst,
+    /// Output queue tail drop (organic congestion).
+    QueueOverflow,
+    /// The link is administratively down (`LinkDown` episode).
+    LinkDown,
+    /// The link is severed by a `Partition` episode.
+    Partition,
+}
+
+impl DropCause {
+    /// The trace `drop` reason string for this cause.
+    pub fn reason(self) -> &'static str {
+        match self {
+            DropCause::Loss => "link drop",
+            DropCause::Burst => "fault.loss_burst",
+            DropCause::QueueOverflow => "queue overflow",
+            DropCause::LinkDown => "fault.link_down",
+            DropCause::Partition => "fault.partition",
+        }
+    }
 }
 
 /// The outcome of offering a packet to a link.
@@ -127,14 +167,59 @@ pub enum TxResult {
         /// Arrival time.
         at: SimTime,
     },
-    /// Packet was dropped (queue overflow or random loss).
-    Dropped,
+    /// Packet was dropped.
+    Dropped {
+        /// Why the link refused it.
+        cause: DropCause,
+    },
 }
 
 impl Link {
     /// Creates a link between two endpoints.
     pub fn new(id: LinkId, a: Endpoint, b: Endpoint, params: LinkParams) -> Self {
-        Link { id, a, b, params, busy_until: [SimTime::ZERO; 2] }
+        Link {
+            id,
+            a,
+            b,
+            params,
+            busy_until: [SimTime::ZERO; 2],
+            admin_down: false,
+            partitioned: false,
+            burst_loss: 0.0,
+            extra_latency: SimDuration::ZERO,
+        }
+    }
+
+    /// Sets/clears the administrative down flag (`LinkDown`/`LinkUp`).
+    pub fn set_admin_down(&mut self, down: bool) {
+        self.admin_down = down;
+    }
+
+    /// Sets/clears the partition flag (`Partition`/`Heal`).
+    pub fn set_partitioned(&mut self, cut: bool) {
+        self.partitioned = cut;
+    }
+
+    /// Sets the burst-loss override (0 clears it).
+    pub fn set_burst_loss(&mut self, loss: f64) {
+        assert!((0.0..1.0).contains(&loss));
+        self.burst_loss = loss;
+    }
+
+    /// Sets the latency-spike overlay (zero clears it).
+    pub fn set_extra_latency(&mut self, extra: SimDuration) {
+        self.extra_latency = extra;
+    }
+
+    /// True while either down flag is set.
+    pub fn is_down(&self) -> bool {
+        self.admin_down || self.partitioned
+    }
+
+    /// True while any fault overlay (down flag, burst loss, latency
+    /// spike) is active — used to assert that a healed plan leaks nothing.
+    pub fn is_faulted(&self) -> bool {
+        self.is_down() || self.burst_loss > 0.0 || self.extra_latency > SimDuration::ZERO
     }
 
     /// The endpoint opposite `node`, if `node` terminates this link.
@@ -168,8 +253,19 @@ impl Link {
         } else {
             panic!("node {from:?} is not an endpoint of link {:?}", self.id);
         };
+        // Fault checks happen after the caller's RNG draws, so a fault
+        // episode never changes the draw sequence of the rest of the run.
+        if self.admin_down {
+            return TxResult::Dropped { cause: DropCause::LinkDown };
+        }
+        if self.partitioned {
+            return TxResult::Dropped { cause: DropCause::Partition };
+        }
         if loss_draw < self.params.loss {
-            return TxResult::Dropped;
+            return TxResult::Dropped { cause: DropCause::Loss };
+        }
+        if loss_draw < self.burst_loss {
+            return TxResult::Dropped { cause: DropCause::Burst };
         }
         let ser_ns = (wire_len as u64 * 8).saturating_mul(1_000_000_000) / self.params.bandwidth_bps;
         let ser = SimDuration::from_nanos(ser_ns.max(1));
@@ -178,12 +274,12 @@ impl Link {
         let backlog_ns = start.since(now).as_nanos();
         let backlog_bytes = (backlog_ns.saturating_mul(self.params.bandwidth_bps) / 8 / 1_000_000_000) as usize;
         if backlog_bytes > self.params.queue_bytes {
-            return TxResult::Dropped;
+            return TxResult::Dropped { cause: DropCause::QueueOverflow };
         }
         self.busy_until[dir] = start + ser;
         let jitter =
             SimDuration::from_nanos((jitter_draw * self.params.jitter.as_nanos() as f64) as u64);
-        TxResult::Deliver { to, at: self.busy_until[dir] + self.params.latency + jitter }
+        TxResult::Deliver { to, at: self.busy_until[dir] + self.params.latency + self.extra_latency + jitter }
     }
 }
 
@@ -252,7 +348,10 @@ mod tests {
     fn loss_draw_respected() {
         let mut l = link();
         l.params.loss = 0.5;
-        assert_eq!(l.transmit(NodeId(0), 10, SimTime::ZERO, 0.49, 0.0), TxResult::Dropped);
+        assert_eq!(
+            l.transmit(NodeId(0), 10, SimTime::ZERO, 0.49, 0.0),
+            TxResult::Dropped { cause: DropCause::Loss }
+        );
         assert!(matches!(
             l.transmit(NodeId(0), 10, SimTime::ZERO, 0.51, 0.0),
             TxResult::Deliver { .. }
@@ -268,10 +367,58 @@ mod tests {
         for _ in 0..10 {
             match l.transmit(NodeId(0), 1000, SimTime::ZERO, 0.9, 0.0) {
                 TxResult::Deliver { .. } => delivered += 1,
-                TxResult::Dropped => dropped += 1,
+                TxResult::Dropped { cause } => {
+                    assert_eq!(cause, DropCause::QueueOverflow);
+                    dropped += 1;
+                }
             }
         }
         assert!(delivered >= 2 && dropped > 0, "delivered={delivered} dropped={dropped}");
+    }
+
+    #[test]
+    fn fault_overlays_drop_and_restore() {
+        let mut l = link();
+        l.set_admin_down(true);
+        assert_eq!(
+            l.transmit(NodeId(0), 10, SimTime::ZERO, 0.9, 0.0),
+            TxResult::Dropped { cause: DropCause::LinkDown }
+        );
+        // Partition is tracked independently: clearing admin-down while
+        // partitioned keeps the link dead, and vice versa.
+        l.set_partitioned(true);
+        l.set_admin_down(false);
+        assert_eq!(
+            l.transmit(NodeId(0), 10, SimTime::ZERO, 0.9, 0.0),
+            TxResult::Dropped { cause: DropCause::Partition }
+        );
+        l.set_partitioned(false);
+        assert!(!l.is_faulted());
+        // Burst loss on top of zero organic loss.
+        l.set_burst_loss(0.8);
+        assert_eq!(
+            l.transmit(NodeId(0), 10, SimTime::ZERO, 0.5, 0.0),
+            TxResult::Dropped { cause: DropCause::Burst }
+        );
+        assert!(matches!(
+            l.transmit(NodeId(0), 10, SimTime::ZERO, 0.9, 0.0),
+            TxResult::Deliver { .. }
+        ));
+        l.set_burst_loss(0.0);
+        assert!(!l.is_faulted());
+    }
+
+    #[test]
+    fn latency_spike_adds_delay() {
+        let mut l = link();
+        l.set_extra_latency(SimDuration::from_millis(5));
+        match l.transmit(NodeId(0), 1000, SimTime::ZERO, 0.9, 0.0) {
+            // 1 ms serialization + 1 ms latency + 5 ms spike.
+            TxResult::Deliver { at, .. } => assert_eq!(at, SimTime(7_000_000)),
+            _ => panic!("dropped"),
+        }
+        l.set_extra_latency(SimDuration::ZERO);
+        assert!(!l.is_faulted());
     }
 
     #[test]

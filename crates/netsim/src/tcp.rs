@@ -332,6 +332,27 @@ impl TcpLayer {
         self.events.push((app, TcpEvent::Closed(id)));
     }
 
+    /// Aborts every connection whose remote address is `remote` — used
+    /// when the layer-3.5 shim determines the peer is unreachable (BEX
+    /// retransmission exhausted after a crash). Sockets still in the
+    /// handshake report [`TcpEvent::ConnectFailed`], established ones
+    /// [`TcpEvent::Reset`]. No RST is sent: the peer is unreachable.
+    pub fn abort_to(&mut self, remote: IpAddr) {
+        let ids: Vec<SockId> =
+            self.sockets.iter().flatten().filter(|s| s.remote.0 == remote).map(|s| s.id).collect();
+        for id in ids {
+            let Some(s) = self.sockets.get(id.0).and_then(Option::as_ref) else { continue };
+            let app = s.owner_app;
+            let ev = if s.state == TcpState::SynSent {
+                TcpEvent::ConnectFailed(id)
+            } else {
+                TcpEvent::Reset(id)
+            };
+            self.release(id);
+            self.events.push((app, ev));
+        }
+    }
+
     /// Handles an inbound segment addressed to this host.
     pub fn segment_arrives(&mut self, src: IpAddr, dst: IpAddr, seg: TcpSegment, now: SimTime) {
         let key = (dst, seg.dst_port, src, seg.src_port);

@@ -66,6 +66,12 @@ pub enum TraceData {
         /// Opaque id of the cancelled token.
         token: u64,
     },
+    /// A fault episode transition (link down/up, crash/restart,
+    /// partition/heal) applied by the injector.
+    Fault {
+        /// Human-readable description of the transition.
+        detail: String,
+    },
 }
 
 /// The coarse kind of a record (cheap filtering).
@@ -83,6 +89,8 @@ pub enum TraceKind {
     TimerFire,
     /// Timer cancelled.
     TimerCancel,
+    /// Fault episode transition.
+    Fault,
 }
 
 impl TraceData {
@@ -95,6 +103,7 @@ impl TraceData {
             TraceData::State { .. } => TraceKind::State,
             TraceData::TimerFire { .. } => TraceKind::TimerFire,
             TraceData::TimerCancel { .. } => TraceKind::TimerCancel,
+            TraceData::Fault { .. } => TraceKind::Fault,
         }
     }
 
@@ -155,6 +164,7 @@ impl TraceEntry {
                 format!("owner {} token {token}", owner_str(*owner))
             }
             TraceData::TimerCancel { token } => format!("token {token}"),
+            TraceData::Fault { detail } => detail.clone(),
         }
     }
 
@@ -171,6 +181,7 @@ impl TraceEntry {
             TraceKind::State => "state",
             TraceKind::TimerFire => "timer_fire",
             TraceKind::TimerCancel => "timer_cancel",
+            TraceKind::Fault => "fault",
         };
         w.str_field("kind", kind);
         match &self.data {
@@ -198,6 +209,9 @@ impl TraceEntry {
             }
             TraceData::TimerCancel { token } => {
                 w.raw_field("token", token);
+            }
+            TraceData::Fault { detail } => {
+                w.str_field("detail", detail);
             }
         }
         w.finish()
@@ -228,6 +242,7 @@ impl TraceEntry {
                 token: get("token")?.as_u64()?,
             },
             "timer_cancel" => TraceData::TimerCancel { token: get("token")?.as_u64()? },
+            "fault" => TraceData::Fault { detail: get("detail")?.as_str()?.to_string() },
             _ => return None,
         };
         Some(TraceEntry { at, node, kind: data.kind(), data })
@@ -372,6 +387,7 @@ mod tests {
             mk(SimTime(7), TraceData::State { detail: "I1 -> R1, puzzle k=10\nline2".into() }),
             mk(SimTime(8), TraceData::TimerFire { owner: TimerOwner::App(2), token: 42 }),
             mk(SimTime(9), TraceData::TimerCancel { token: (7 << 32) | 1 }),
+            mk(SimTime(10), TraceData::Fault { detail: "link 2 down".into() }),
         ]
     }
 

@@ -181,6 +181,14 @@ impl App for DbServerApp {
         assert!(api.tcp_listen(self.port), "db port {} taken", self.port);
     }
 
+    fn reset(&mut self) {
+        self.conns.clear();
+        self.pending.clear();
+        // Data, cache, stats and next_token survive: the table files
+        // outlive a crash, and monotonic tokens keep stale service
+        // timers from matching post-restart work.
+    }
+
     fn on_event(&mut self, ev: AppEvent, api: &mut HostApi) {
         match ev {
             AppEvent::Tcp(TcpEvent::Accepted { sock, .. }) => {

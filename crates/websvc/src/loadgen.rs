@@ -72,6 +72,57 @@ impl LatencyStats {
 // jmeter: closed-loop concurrent clients
 // ---------------------------------------------------------------------
 
+/// Per-sim-second buckets of successful vs. failed requests — the
+/// goodput/error timeline the resilience benchmark plots around fault
+/// injection.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    /// Successful (HTTP 200) completions per sim-second.
+    pub ok: Vec<u64>,
+    /// Errors (non-200 responses, resets, connect failures) per
+    /// sim-second.
+    pub err: Vec<u64>,
+}
+
+impl Timeline {
+    fn bucket(now: SimTime) -> usize {
+        (now.as_nanos() / 1_000_000_000) as usize
+    }
+
+    fn bump(v: &mut Vec<u64>, b: usize) {
+        if v.len() <= b {
+            v.resize(b + 1, 0);
+        }
+        v[b] += 1;
+    }
+
+    fn record_ok(&mut self, now: SimTime) {
+        Self::bump(&mut self.ok, Self::bucket(now));
+    }
+
+    fn record_err(&mut self, now: SimTime) {
+        Self::bump(&mut self.err, Self::bucket(now));
+    }
+
+    /// Buckets recorded so far (max of both series).
+    pub fn len(&self) -> usize {
+        self.ok.len().max(self.err.len())
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ok.is_empty() && self.err.is_empty()
+    }
+
+    /// `(ok, err)` for bucket `b` (0 past the recorded end).
+    pub fn at(&self, b: usize) -> (u64, u64) {
+        (
+            self.ok.get(b).copied().unwrap_or(0),
+            self.err.get(b).copied().unwrap_or(0),
+        )
+    }
+}
+
 struct JmeterSession {
     sock: Option<SockId>,
     parser: ResponseParser,
@@ -93,9 +144,18 @@ pub struct JmeterApp {
     pub completed: u64,
     /// Per-request latencies.
     pub latency: LatencyStats,
-    /// Failed connections/requests.
+    /// Failed connections/requests (non-200 responses, resets,
+    /// connect failures).
     pub errors: u64,
+    /// Per-sim-second goodput/error buckets (recorded regardless of
+    /// `measure_from`, so warm-up shows up too).
+    pub timeline: Timeline,
 }
+
+/// Reconnect timer tokens are `JMETER_RECONNECT_BASE + session index`.
+const JMETER_RECONNECT_BASE: u64 = 1000;
+/// Backoff before a dead session dials again.
+const JMETER_RECONNECT_DELAY: SimDuration = SimDuration::from_millis(200);
 
 impl JmeterApp {
     /// Creates a generator with `sessions` concurrent users against
@@ -119,7 +179,32 @@ impl JmeterApp {
             completed: 0,
             latency: LatencyStats::default(),
             errors: 0,
+            timeline: Timeline::default(),
         }
+    }
+
+    fn connect_session(&mut self, idx: usize, api: &mut HostApi) {
+        if self.sessions[idx].sock.is_some() {
+            return;
+        }
+        if let Some(sock) = api.tcp_connect(self.target.0, self.target.1) {
+            self.sessions[idx].sock = Some(sock);
+            self.sessions[idx].outstanding = false;
+            self.sessions[idx].parser = ResponseParser::default();
+            self.by_sock.insert(sock, idx);
+        } else {
+            // No route right now (e.g. the LB is mid-restart): back off.
+            api.set_timer(JMETER_RECONNECT_DELAY, JMETER_RECONNECT_BASE + idx as u64);
+        }
+    }
+
+    /// Drops the session's socket and schedules a redial, so a crashed
+    /// or restarted server does not permanently shrink the user count.
+    fn session_died(&mut self, idx: usize, sock: SockId, api: &mut HostApi) {
+        self.by_sock.remove(&sock);
+        self.sessions[idx].sock = None;
+        self.sessions[idx].outstanding = false;
+        api.set_timer(JMETER_RECONNECT_DELAY, JMETER_RECONNECT_BASE + idx as u64);
     }
 
     fn fire_request(&mut self, idx: usize, api: &mut HostApi) {
@@ -140,17 +225,27 @@ impl JmeterApp {
 impl App for JmeterApp {
     fn start(&mut self, api: &mut HostApi) {
         for idx in 0..self.sessions.len() {
-            if let Some(sock) = api.tcp_connect(self.target.0, self.target.1) {
-                self.sessions[idx].sock = Some(sock);
-                self.by_sock.insert(sock, idx);
-            } else {
-                self.errors += 1;
-            }
+            self.connect_session(idx, api);
         }
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.sessions {
+            s.sock = None;
+            s.outstanding = false;
+            s.parser = ResponseParser::default();
+        }
+        self.by_sock.clear();
     }
 
     fn on_event(&mut self, ev: AppEvent, api: &mut HostApi) {
         match ev {
+            AppEvent::Timer { token } if token >= JMETER_RECONNECT_BASE => {
+                let idx = (token - JMETER_RECONNECT_BASE) as usize;
+                if idx < self.sessions.len() {
+                    self.connect_session(idx, api);
+                }
+            }
             AppEvent::Tcp(TcpEvent::Connected(sock)) => {
                 if let Some(&idx) = self.by_sock.get(&sock) {
                     self.fire_request(idx, api);
@@ -159,30 +254,49 @@ impl App for JmeterApp {
             AppEvent::Tcp(TcpEvent::Data(sock)) => {
                 let Some(&idx) = self.by_sock.get(&sock) else { return };
                 let raw = api.tcp_recv(sock);
-                let mut complete = false;
+                let mut statuses = Vec::new();
                 {
                     let s = &mut self.sessions[idx];
                     s.parser.push(&raw);
-                    while let Some(_resp) = s.parser.next_response() {
-                        complete = true;
+                    while let Some(resp) = s.parser.next_response() {
+                        statuses.push(resp.status);
                     }
                 }
-                if complete && self.sessions[idx].outstanding {
+                if !statuses.is_empty() && self.sessions[idx].outstanding {
                     let sent_at = self.sessions[idx].sent_at;
                     self.sessions[idx].outstanding = false;
-                    if api.now() >= self.measure_from {
-                        self.completed += 1;
-                        let rt = api.now().since(sent_at);
-                        self.latency.record(rt);
-                        api.metrics().observe_name("client.latency", rt.as_nanos());
+                    // Only 200s count as goodput; a 502/503/504 from the
+                    // proxy is a served-but-failed request.
+                    if statuses.iter().all(|&s| s == 200) {
+                        self.timeline.record_ok(api.now());
+                        if api.now() >= self.measure_from {
+                            self.completed += 1;
+                            let rt = api.now().since(sent_at);
+                            self.latency.record(rt);
+                            api.metrics().observe_name("client.latency", rt.as_nanos());
+                        }
+                    } else {
+                        self.errors += 1;
+                        self.timeline.record_err(api.now());
+                        api.metrics().add_name("client.http_error", 1);
                     }
                     // Closed loop, zero think time: next request now.
                     self.fire_request(idx, api);
                 }
             }
             AppEvent::Tcp(TcpEvent::ConnectFailed(sock)) | AppEvent::Tcp(TcpEvent::Reset(sock)) => {
-                self.errors += 1;
-                self.by_sock.remove(&sock);
+                if let Some(&idx) = self.by_sock.get(&sock) {
+                    self.errors += 1;
+                    self.timeline.record_err(api.now());
+                    self.session_died(idx, sock, api);
+                }
+            }
+            AppEvent::Tcp(TcpEvent::PeerClosed(sock)) | AppEvent::Tcp(TcpEvent::Closed(sock)) => {
+                // Orderly close (e.g. server keep-alive limit): redial
+                // without counting an error.
+                if let Some(&idx) = self.by_sock.get(&sock) {
+                    self.session_died(idx, sock, api);
+                }
             }
             _ => {}
         }

@@ -8,14 +8,35 @@
 //! addressed by HIT/LSI, the proxy is exactly the paper's HIP
 //! terminator: "HTTP load balancers translate non-HIP traffic into
 //! HIP-based traffic inside the cloud" — end users need no HIP at all.
+//!
+//! # Failover
+//!
+//! Each backend runs a health state machine, HAProxy-style:
+//!
+//! ```text
+//!   Healthy ──fail──▶ Suspect ──fail──▶ Ejected{until}
+//!      ▲                 │success            │ backoff expires
+//!      │◀────────────────┘                   ▼
+//!      └──────probe connects────────── Probing ──fail──▶ Ejected (2×)
+//! ```
+//!
+//! Failures are detected passively (connect failures, resets, connect
+//! and response timeouts swept by a periodic tick) and actively (a TCP
+//! connect probe once an ejection backoff expires — the equivalent of
+//! HAProxy's L4 `check`; over HIP backends the probe re-runs the base
+//! exchange, which is exactly the recovery we want to exercise).
+//! Requests stranded on a failed backend are retried on the next
+//! healthy one with exponential backoff, a bounded number of times;
+//! clients see `502` (connect failure), `504` (response timeout) or
+//! `503` (every backend ejected) instead of a hang.
 
 use crate::http::{HttpResponse, RequestParser, ResponseParser};
 use crate::secure::{Channel, Conn};
 use netsim::host::{App, AppEvent, HostApi};
 use netsim::tcp::TcpEvent;
-use netsim::{SimTime, SockId};
+use netsim::{SimDuration, SimTime, SockId};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::IpAddr;
 use tls_sim::TlsCosts;
 
@@ -41,8 +62,80 @@ pub struct ProxyStats {
     pub forwarded: u64,
     /// Responses relayed back to clients.
     pub responses: u64,
-    /// Backend connections that failed.
+    /// Backend connections that failed (connect failure, reset, timeout).
     pub backend_failures: u64,
+    /// Backends moved to the ejected state.
+    pub ejections: u64,
+    /// Backends returned to healthy (probe success or live traffic).
+    pub recoveries: u64,
+    /// Non-healthy backends skipped by the round-robin picker.
+    pub skipped: u64,
+    /// Requests re-dispatched to another backend after a failure.
+    pub retries: u64,
+    /// Requests answered 503 because every backend was ejected.
+    pub unavailable: u64,
+    /// Health-check probes launched.
+    pub probes: u64,
+    /// Connect/response deadlines that expired.
+    pub timeouts: u64,
+}
+
+/// Failover tuning knobs (defaults follow HAProxy's spirit: fail fast,
+/// back off exponentially, probe before readmitting).
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverConfig {
+    /// House-keeping sweep period (timeout resolution).
+    pub tick: SimDuration,
+    /// A backend connect pending longer than this has failed.
+    pub connect_timeout: SimDuration,
+    /// A forwarded request unanswered longer than this has failed.
+    pub response_timeout: SimDuration,
+    /// Consecutive failures before a backend is ejected.
+    pub fail_threshold: u32,
+    /// First ejection backoff (doubles per ejection, capped at 8×).
+    pub eject_backoff: SimDuration,
+    /// Retries (on other backends) before a request is failed upward.
+    pub max_retries: u32,
+    /// First retry delay (doubles per attempt).
+    pub retry_backoff: SimDuration,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            tick: SimDuration::from_millis(100),
+            connect_timeout: SimDuration::from_millis(1000),
+            response_timeout: SimDuration::from_millis(3000),
+            fail_threshold: 2,
+            eject_backoff: SimDuration::from_millis(1000),
+            max_retries: 2,
+            retry_backoff: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// Per-backend health state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Serving traffic.
+    Healthy,
+    /// One recent failure — still eligible, next failure ejects.
+    Suspect,
+    /// Out of rotation until the backoff expires.
+    Ejected {
+        /// When the ejection backoff expires and a probe may launch.
+        until: SimTime,
+    },
+    /// A health-check connect is in flight; not yet eligible.
+    Probing,
+}
+
+struct Backend {
+    addr: (IpAddr, u16),
+    health: Health,
+    consecutive_fails: u32,
+    /// Lifetime ejections — drives the exponential backoff.
+    ejections: u32,
 }
 
 struct ClientSide {
@@ -54,21 +147,46 @@ struct BackendSide {
     conn: Conn,
     parser: ResponseParser,
     client: SockId,
+    backend_idx: usize,
     connected: bool,
-    /// Requests accepted before the backend link came up.
-    queued: Vec<u8>,
-    /// When the first queued byte arrived (feeds the `proxy.queue` span).
+    /// Framed requests accepted before the link came up.
+    queued: VecDeque<Vec<u8>>,
+    /// When the first queued request arrived (feeds the `proxy.queue` span).
     queued_at: Option<SimTime>,
+    /// Framed requests sent and awaiting a response (front = oldest).
+    inflight: VecDeque<Vec<u8>>,
+    /// Retry attempts already consumed by the unanswered payload.
+    attempts: u32,
+    connect_deadline: Option<SimTime>,
+    response_deadline: Option<SimTime>,
 }
+
+/// A request batch awaiting its retry backoff.
+struct PendingRetry {
+    client: SockId,
+    reqs: Vec<Vec<u8>>,
+    attempts: u32,
+    due: SimTime,
+}
+
+const TIMER_KIND_TICK: u64 = 1;
 
 /// The reverse proxy application.
 pub struct ProxyApp {
     listen_port: u16,
-    backends: Vec<(IpAddr, u16)>,
+    backends: Vec<Backend>,
     security: BackendSecurity,
+    /// Failover behavior.
+    pub failover: FailoverConfig,
     rr: usize,
     clients: HashMap<SockId, ClientSide>,
     backend_conns: HashMap<SockId, BackendSide>,
+    /// Probe socket → (backend index, connect deadline).
+    probes: HashMap<SockId, (usize, SimTime)>,
+    retries: Vec<PendingRetry>,
+    /// Bumped on crash reset so stale timers from a previous boot are
+    /// ignored (app timers are fire-and-forget and may outlive a crash).
+    epoch: u64,
     /// Counters.
     pub stats: ProxyStats,
 }
@@ -80,97 +198,360 @@ impl ProxyApp {
         assert!(!backends.is_empty(), "proxy needs at least one backend");
         ProxyApp {
             listen_port,
-            backends,
+            backends: backends
+                .into_iter()
+                .map(|addr| Backend {
+                    addr,
+                    health: Health::Healthy,
+                    consecutive_fails: 0,
+                    ejections: 0,
+                })
+                .collect(),
             security,
+            failover: FailoverConfig::default(),
             rr: 0,
             clients: HashMap::new(),
             backend_conns: HashMap::new(),
+            probes: HashMap::new(),
+            retries: Vec::new(),
+            epoch: 0,
             stats: ProxyStats::default(),
         }
     }
 
-    /// Next backend in round-robin order.
-    fn pick_backend(&mut self) -> (IpAddr, u16) {
-        let b = self.backends[self.rr % self.backends.len()];
-        self.rr += 1;
-        b
+    /// The health state of backend `idx` (tests/diagnostics).
+    pub fn backend_health(&self, idx: usize) -> Health {
+        self.backends[idx].health
     }
 
-    fn ensure_backend(&mut self, client: SockId, api: &mut HostApi) -> Option<SockId> {
-        if let Some(c) = self.clients.get(&client) {
-            if let Some(b) = c.backend {
-                return Some(b);
+    /// Whether any backend is currently ejected or probing.
+    pub fn any_backend_out(&self) -> bool {
+        self.backends
+            .iter()
+            .any(|b| matches!(b.health, Health::Ejected { .. } | Health::Probing))
+    }
+
+    fn eligible(b: &Backend) -> bool {
+        matches!(b.health, Health::Healthy | Health::Suspect)
+    }
+
+    /// Next eligible backend in round-robin order, counting how many
+    /// non-healthy entries had to be skipped.
+    fn pick_backend(&mut self, api: &mut HostApi) -> Option<usize> {
+        let n = self.backends.len();
+        for i in 0..n {
+            let idx = (self.rr + i) % n;
+            if Self::eligible(&self.backends[idx]) {
+                self.rr = idx + 1;
+                if i > 0 {
+                    self.stats.skipped += i as u64;
+                    api.metrics().add_name("proxy.skip", i as u64);
+                }
+                return Some(idx);
             }
         }
-        let (addr, port) = self.pick_backend();
-        let sock = api.tcp_connect(addr, port)?;
-        self.backend_conns.insert(
-            sock,
-            BackendSide {
-                conn: Conn::new(sock, Channel::plain()),
-                parser: ResponseParser::default(),
-                client,
-                connected: false,
-                queued: Vec::new(),
-                queued_at: None,
-            },
-        );
-        if let Some(c) = self.clients.get_mut(&client) {
-            c.backend = Some(sock);
-        }
-        Some(sock)
+        None
     }
 
-    fn forward(&mut self, client: SockId, data: &[u8], api: &mut HostApi) {
-        let Some(backend) = self.ensure_backend(client, api) else {
-            self.stats.backend_failures += 1;
-            api.metrics().add_name("proxy.backend_fail", 1);
-            let resp = HttpResponse::error(502, "no backend").encode();
+    fn record_failure(&mut self, idx: usize, api: &mut HostApi) {
+        self.stats.backend_failures += 1;
+        api.metrics().add_name("proxy.backend_fail", 1);
+        let cfg = self.failover;
+        let now = api.now();
+        let b = &mut self.backends[idx];
+        b.consecutive_fails += 1;
+        match b.health {
+            Health::Ejected { .. } => {} // already out; keep the clock
+            Health::Probing => {
+                // Failed probe: back off harder.
+                Self::eject(b, now, cfg, &mut self.stats, api);
+            }
+            Health::Healthy | Health::Suspect => {
+                if b.consecutive_fails >= cfg.fail_threshold {
+                    Self::eject(b, now, cfg, &mut self.stats, api);
+                } else {
+                    b.health = Health::Suspect;
+                }
+            }
+        }
+    }
+
+    fn eject(b: &mut Backend, now: SimTime, cfg: FailoverConfig, stats: &mut ProxyStats, api: &mut HostApi) {
+        let backoff =
+            SimDuration::from_nanos(cfg.eject_backoff.as_nanos() << b.ejections.min(3));
+        b.health = Health::Ejected { until: now + backoff };
+        b.ejections += 1;
+        stats.ejections += 1;
+        api.metrics().add_name("proxy.eject", 1);
+    }
+
+    fn record_success(&mut self, idx: usize, api: &mut HostApi) {
+        let b = &mut self.backends[idx];
+        b.consecutive_fails = 0;
+        if b.health != Health::Healthy {
+            b.health = Health::Healthy;
+            b.ejections = 0;
+            self.stats.recoveries += 1;
+            api.metrics().add_name("proxy.recover", 1);
+        }
+    }
+
+    /// Queues or sends one framed request on an (owned) backend link.
+    fn send_on(link: &mut BackendSide, req: Vec<u8>, now: SimTime, cfg: &FailoverConfig, api: &mut HostApi) {
+        if link.connected {
+            link.conn.send(&req, api);
+            link.inflight.push_back(req);
+            if link.response_deadline.is_none() {
+                link.response_deadline = Some(now + cfg.response_timeout);
+            }
+        } else {
+            if link.queued.is_empty() {
+                link.queued_at = Some(now);
+            }
+            link.queued.push_back(req);
+        }
+    }
+
+    /// Routes one framed request from `client`, opening a backend
+    /// connection if needed. `attempts` counts prior failed dispatches.
+    fn dispatch(&mut self, client: SockId, req: Vec<u8>, attempts: u32, api: &mut HostApi) {
+        if !self.clients.contains_key(&client) {
+            return; // client went away while the request waited
+        }
+        self.stats.forwarded += 1;
+        api.metrics().add_name("proxy.fwd", 1);
+        let now = api.now();
+        let cfg = self.failover;
+        // Reuse the client's bound backend connection if it is live.
+        if let Some(bound) = self.clients.get(&client).and_then(|c| c.backend) {
+            if let Some(link) = self.backend_conns.get_mut(&bound) {
+                link.attempts = link.attempts.max(attempts);
+                Self::send_on(link, req, now, &cfg, api);
+                return;
+            }
+        }
+        let Some(idx) = self.pick_backend(api) else {
+            // Every backend is ejected or probing: shed load gracefully.
+            self.stats.unavailable += 1;
+            api.metrics().add_name("proxy.503", 1);
+            let resp = HttpResponse::error(503, "no healthy backend").encode();
             api.tcp_send(client, &resp);
             return;
         };
-        self.stats.forwarded += 1;
-        api.metrics().add_name("proxy.fwd", 1);
-        let link = self.backend_conns.get_mut(&backend).expect("just ensured");
-        if link.connected {
-            link.conn.send(data, api);
-        } else {
-            if link.queued.is_empty() {
-                link.queued_at = Some(api.now());
-            }
-            link.queued.extend_from_slice(data);
+        let (addr, port) = self.backends[idx].addr;
+        let Some(sock) = api.tcp_connect(addr, port) else {
+            self.stats.unavailable += 1;
+            api.metrics().add_name("proxy.503", 1);
+            let resp = HttpResponse::error(503, "no route to backend").encode();
+            api.tcp_send(client, &resp);
+            return;
+        };
+        let mut link = BackendSide {
+            conn: Conn::new(sock, Channel::plain()),
+            parser: ResponseParser::default(),
+            client,
+            backend_idx: idx,
+            connected: false,
+            queued: VecDeque::new(),
+            queued_at: None,
+            inflight: VecDeque::new(),
+            attempts,
+            connect_deadline: Some(now + cfg.connect_timeout),
+            response_deadline: None,
+        };
+        Self::send_on(&mut link, req, now, &cfg, api);
+        self.backend_conns.insert(sock, link);
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.backend = Some(sock);
         }
+    }
+
+    /// A backend connection failed (`status`: 502 connect / 504
+    /// timeout): mark the backend, unbind the client, and retry or fail
+    /// the unanswered requests.
+    fn fail_backend_conn(&mut self, sock: SockId, status: u16, api: &mut HostApi) {
+        let Some(link) = self.backend_conns.remove(&sock) else { return };
+        self.record_failure(link.backend_idx, api);
+        if let Some(c) = self.clients.get_mut(&link.client) {
+            if c.backend == Some(sock) {
+                c.backend = None;
+            }
+        }
+        let unanswered: Vec<Vec<u8>> =
+            link.inflight.into_iter().chain(link.queued).collect();
+        if unanswered.is_empty() {
+            return;
+        }
+        let attempts = link.attempts + 1;
+        let cfg = self.failover;
+        if attempts > cfg.max_retries {
+            // Out of retries: answer every stranded request explicitly.
+            api.metrics().add_name("proxy.request_fail", unanswered.len() as u64);
+            if self.clients.contains_key(&link.client) {
+                let msg = if status == 504 { "backend timeout" } else { "backend down" };
+                let resp = HttpResponse::error(status, msg).encode();
+                for _ in &unanswered {
+                    api.tcp_send(link.client, &resp);
+                }
+            }
+            return;
+        }
+        self.stats.retries += unanswered.len() as u64;
+        api.metrics().add_name("proxy.retry", unanswered.len() as u64);
+        let backoff =
+            SimDuration::from_nanos(cfg.retry_backoff.as_nanos() << (attempts - 1).min(8));
+        self.retries.push(PendingRetry {
+            client: link.client,
+            reqs: unanswered,
+            attempts,
+            due: api.now() + backoff,
+        });
+    }
+
+    fn start_probe(&mut self, idx: usize, api: &mut HostApi) {
+        let (addr, port) = self.backends[idx].addr;
+        let Some(sock) = api.tcp_connect(addr, port) else { return };
+        self.backends[idx].health = Health::Probing;
+        self.probes.insert(sock, (idx, api.now() + self.failover.connect_timeout));
+        self.stats.probes += 1;
+        api.metrics().add_name("proxy.probe", 1);
+    }
+
+    /// Periodic sweep: due retries, expired connect/response deadlines,
+    /// expired probes, and ejection backoffs ready for a probe.
+    fn tick(&mut self, api: &mut HostApi) {
+        let now = api.now();
+
+        // Due retries, in arrival order.
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.retries.len() {
+            if self.retries[i].due <= now {
+                due.push(self.retries.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for r in due {
+            for req in r.reqs {
+                self.dispatch(r.client, req, r.attempts, api);
+            }
+        }
+
+        // Expired deadlines. Sort socket ids so the sweep order (and
+        // therefore the event sequence) is independent of HashMap order.
+        let mut expired: Vec<(SockId, u16)> = self
+            .backend_conns
+            .iter()
+            .filter_map(|(s, l)| {
+                let connect_late = !l.connected && l.connect_deadline.is_some_and(|d| d <= now);
+                let response_late = l.response_deadline.is_some_and(|d| d <= now);
+                if connect_late {
+                    Some((*s, 502))
+                } else if response_late {
+                    Some((*s, 504))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        expired.sort_by_key(|(s, _)| *s);
+        for (sock, status) in expired {
+            self.stats.timeouts += 1;
+            api.metrics().add_name("proxy.timeout", 1);
+            api.tcp_abort(sock);
+            self.fail_backend_conn(sock, status, api);
+        }
+
+        // Probes that never connected.
+        let mut dead_probes: Vec<SockId> = self
+            .probes
+            .iter()
+            .filter_map(|(s, (_, d))| (*d <= now).then_some(*s))
+            .collect();
+        dead_probes.sort();
+        for sock in dead_probes {
+            let (idx, _) = self.probes.remove(&sock).expect("collected above");
+            api.tcp_abort(sock);
+            self.record_failure(idx, api);
+        }
+
+        // Ejection backoffs that have expired: probe before readmitting.
+        for idx in 0..self.backends.len() {
+            if matches!(self.backends[idx].health, Health::Ejected { until } if until <= now) {
+                self.start_probe(idx, api);
+            }
+        }
+
+        api.set_timer(self.failover.tick, (self.epoch << 8) | TIMER_KIND_TICK);
     }
 }
 
 impl App for ProxyApp {
     fn start(&mut self, api: &mut HostApi) {
         assert!(api.tcp_listen(self.listen_port), "proxy port taken");
+        api.set_timer(self.failover.tick, (self.epoch << 8) | TIMER_KIND_TICK);
+    }
+
+    fn reset(&mut self) {
+        self.epoch += 1; // stale timers from the old boot are ignored
+        self.clients.clear();
+        self.backend_conns.clear();
+        self.probes.clear();
+        self.retries.clear();
+        self.rr = 0;
+        for b in &mut self.backends {
+            b.health = Health::Healthy;
+            b.consecutive_fails = 0;
+            b.ejections = 0;
+        }
     }
 
     fn on_event(&mut self, ev: AppEvent, api: &mut HostApi) {
         match ev {
+            AppEvent::Timer { token } => {
+                if token >> 8 != self.epoch {
+                    return;
+                }
+                if token & 0xff == TIMER_KIND_TICK {
+                    self.tick(api);
+                }
+            }
             AppEvent::Tcp(TcpEvent::Accepted { sock, .. }) => {
                 self.stats.accepted += 1;
                 self.clients.insert(sock, ClientSide { parser: RequestParser::default(), backend: None });
             }
             AppEvent::Tcp(TcpEvent::Connected(sock)) => {
+                if let Some((idx, _)) = self.probes.remove(&sock) {
+                    // Probe succeeded: the backend accepts connections
+                    // again (over HIP this also proved a fresh BEX).
+                    self.record_success(idx, api);
+                    api.tcp_close(sock);
+                    return;
+                }
                 // A backend link came up: install its channel, flush.
                 let channel = match &self.security {
                     BackendSecurity::Plain => Channel::plain(),
                     BackendSecurity::Tls { ca, costs } => Channel::tls_client(ca.clone(), *costs, sock, api),
                 };
+                let cfg = self.failover;
+                let mut flushed = None;
                 if let Some(link) = self.backend_conns.get_mut(&sock) {
                     link.conn = Conn::new(sock, channel);
                     link.connected = true;
+                    link.connect_deadline = None;
                     if let Some(t0) = link.queued_at.take() {
                         let waited = api.now().since(t0).as_nanos();
                         api.metrics().observe_name("proxy.queue", waited);
                     }
-                    if !link.queued.is_empty() {
-                        let q = std::mem::take(&mut link.queued);
-                        link.conn.send(&q, api);
+                    let now = api.now();
+                    while let Some(req) = link.queued.pop_front() {
+                        Self::send_on(link, req, now, &cfg, api);
                     }
+                    flushed = Some(link.backend_idx);
+                }
+                if let Some(idx) = flushed {
+                    self.record_success(idx, api);
                 }
             }
             AppEvent::Tcp(TcpEvent::Data(sock)) => {
@@ -181,9 +562,20 @@ impl App for ProxyApp {
                     let out = link.conn.on_bytes(&raw, api);
                     link.parser.push(&out.app_data);
                     let client = link.client;
+                    let idx = link.backend_idx;
                     let mut responses = Vec::new();
                     while let Some(resp) = link.parser.next_response() {
                         responses.push(resp);
+                        link.inflight.pop_front();
+                        link.attempts = 0;
+                    }
+                    if !responses.is_empty() {
+                        link.response_deadline = if link.inflight.is_empty() && link.queued.is_empty() {
+                            None
+                        } else {
+                            Some(api.now() + self.failover.response_timeout)
+                        };
+                        self.record_success(idx, api);
                     }
                     for resp in responses {
                         self.stats.responses += 1;
@@ -203,33 +595,45 @@ impl App for ProxyApp {
                         }
                     }
                     for req in requests {
-                        self.forward(sock, &req.encode(), api);
+                        self.dispatch(sock, req.encode(), 0, api);
                     }
                 }
             }
             AppEvent::Tcp(TcpEvent::ConnectFailed(sock)) => {
-                if let Some(link) = self.backend_conns.remove(&sock) {
-                    self.stats.backend_failures += 1;
-                    api.metrics().add_name("proxy.backend_fail", 1);
-                    // Unbind so the client's next request picks a fresh
-                    // backend instead of dereferencing the dead one.
-                    if let Some(c) = self.clients.get_mut(&link.client) {
-                        if c.backend == Some(sock) {
-                            c.backend = None;
-                        }
-                        let resp = HttpResponse::error(502, "backend down").encode();
-                        api.tcp_send(link.client, &resp);
+                if let Some((idx, _)) = self.probes.remove(&sock) {
+                    self.record_failure(idx, api);
+                } else {
+                    self.fail_backend_conn(sock, 502, api);
+                }
+            }
+            AppEvent::Tcp(TcpEvent::Reset(sock)) => {
+                if let Some((idx, _)) = self.probes.remove(&sock) {
+                    self.record_failure(idx, api);
+                } else if self.backend_conns.contains_key(&sock) {
+                    self.fail_backend_conn(sock, 502, api);
+                } else if let Some(c) = self.clients.remove(&sock) {
+                    if let Some(b) = c.backend {
+                        api.tcp_close(b);
+                        self.backend_conns.remove(&b);
                     }
                 }
             }
-            AppEvent::Tcp(TcpEvent::PeerClosed(sock))
-            | AppEvent::Tcp(TcpEvent::Closed(sock))
-            | AppEvent::Tcp(TcpEvent::Reset(sock)) => {
-                if let Some(link) = self.backend_conns.remove(&sock) {
-                    // Backend went away: drop the client pairing so a new
-                    // backend is picked on the next request.
-                    if let Some(c) = self.clients.get_mut(&link.client) {
-                        c.backend = None;
+            AppEvent::Tcp(TcpEvent::PeerClosed(sock)) | AppEvent::Tcp(TcpEvent::Closed(sock)) => {
+                if self.probes.remove(&sock).is_some() {
+                    // Probe socket wound down; nothing to do.
+                } else if let Some(link) = self.backend_conns.get(&sock) {
+                    if link.inflight.is_empty() && link.queued.is_empty() {
+                        // Clean keep-alive close: unbind, no failure.
+                        let client = link.client;
+                        self.backend_conns.remove(&sock);
+                        if let Some(c) = self.clients.get_mut(&client) {
+                            if c.backend == Some(sock) {
+                                c.backend = None;
+                            }
+                        }
+                    } else {
+                        // Closed with unanswered requests: a failure.
+                        self.fail_backend_conn(sock, 502, api);
                     }
                 } else if let Some(c) = self.clients.remove(&sock) {
                     if let Some(b) = c.backend {
@@ -255,19 +659,38 @@ mod tests {
     use super::*;
     use netsim::packet::v4;
 
-    #[test]
-    fn round_robin_cycles() {
-        let mut p = ProxyApp::new(
+    fn three_backend_proxy() -> ProxyApp {
+        ProxyApp::new(
             80,
             vec![(v4(10, 1, 0, 2), 80), (v4(10, 1, 0, 3), 80), (v4(10, 1, 0, 4), 80)],
             BackendSecurity::Plain,
-        );
-        let picks: Vec<_> = (0..6).map(|_| p.pick_backend().0).collect();
-        assert_eq!(picks[0], picks[3]);
-        assert_eq!(picks[1], picks[4]);
-        assert_eq!(picks[2], picks[5]);
-        assert_ne!(picks[0], picks[1]);
-        assert_ne!(picks[1], picks[2]);
+        )
+    }
+
+    #[test]
+    fn eligibility_skips_ejected_and_probing() {
+        let mut p = three_backend_proxy();
+        assert!(ProxyApp::eligible(&p.backends[0]));
+        p.backends[1].health = Health::Ejected { until: SimTime(1) };
+        assert!(!ProxyApp::eligible(&p.backends[1]));
+        p.backends[2].health = Health::Probing;
+        assert!(!ProxyApp::eligible(&p.backends[2]));
+        p.backends[0].health = Health::Suspect;
+        assert!(ProxyApp::eligible(&p.backends[0]), "suspect still serves");
+    }
+
+    #[test]
+    fn reset_reboots_health_and_epoch() {
+        let mut p = three_backend_proxy();
+        p.backends[0].health = Health::Ejected { until: SimTime(99) };
+        p.backends[0].ejections = 3;
+        p.stats.ejections = 3;
+        let e0 = p.epoch;
+        p.reset();
+        assert_eq!(p.epoch, e0 + 1);
+        assert_eq!(p.backends[0].health, Health::Healthy);
+        assert_eq!(p.backends[0].ejections, 0);
+        assert_eq!(p.stats.ejections, 3, "stats survive the crash");
     }
 
     #[test]

@@ -106,9 +106,16 @@ pub struct WebServerApp {
     rr: usize,
     pending: HashMap<u64, (SockId, Vec<u8>)>,
     next_token: u64,
+    /// A pool-refill timer is already scheduled.
+    reconnect_pending: bool,
     /// Counters.
     pub stats: WebStats,
 }
+
+/// Timer token for DB-pool refill (render tokens start at 1).
+const RECONNECT_TOKEN: u64 = 0;
+/// Backoff before re-dialing lost DB connections.
+const RECONNECT_DELAY: SimDuration = SimDuration::from_millis(500);
 
 impl WebServerApp {
     /// Creates the app.
@@ -122,7 +129,38 @@ impl WebServerApp {
             rr: 0,
             pending: HashMap::new(),
             next_token: 0,
+            reconnect_pending: false,
             stats: WebStats::default(),
+        }
+    }
+
+    /// A DB link died: schedule a pool refill (the DB may be mid-crash,
+    /// so back off instead of redialing immediately).
+    fn db_link_lost(&mut self, sock: SockId, api: &mut HostApi) {
+        self.db_state.remove(&sock);
+        self.db_links.retain(|s| *s != sock);
+        if !self.reconnect_pending {
+            self.reconnect_pending = true;
+            api.set_timer(RECONNECT_DELAY, RECONNECT_TOKEN);
+        }
+    }
+
+    /// Tops the pool back up to `pool_size` connections.
+    fn refill_pool(&mut self, api: &mut HostApi) {
+        self.reconnect_pending = false;
+        while self.db_links.len() < self.config.pool_size {
+            let Some(sock) = api.tcp_connect(self.config.db_addr, self.config.db_port) else {
+                break;
+            };
+            self.db_links.push(sock);
+            self.db_state.insert(
+                sock,
+                DbLink { conn: Conn::new(sock, Channel::plain()), frames: FrameParser::default(), inflight: VecDeque::new(), connected: false },
+            );
+        }
+        if self.db_links.len() < self.config.pool_size && !self.reconnect_pending {
+            self.reconnect_pending = true;
+            api.set_timer(RECONNECT_DELAY, RECONNECT_TOKEN);
         }
     }
 
@@ -165,8 +203,9 @@ impl WebServerApp {
             }
         }
         // No connected link. Queue while connections are still being
-        // attempted; fail fast once the pool is gone or the queue full.
-        if n > 0 && self.backlog.len() < Self::MAX_BACKLOG {
+        // attempted (or a pool refill is scheduled); fail fast once the
+        // pool is gone for good or the queue is full.
+        if (n > 0 || self.reconnect_pending) && self.backlog.len() < Self::MAX_BACKLOG {
             self.backlog.push_back((client, query));
         } else {
             self.stats.errors += 1;
@@ -230,6 +269,18 @@ impl App for WebServerApp {
         self.open_db_links(api);
     }
 
+    fn reset(&mut self) {
+        self.clients.clear();
+        self.db_links.clear();
+        self.db_state.clear();
+        self.backlog.clear();
+        self.pending.clear();
+        self.rr = 0;
+        self.reconnect_pending = false;
+        // next_token keeps counting so a pre-crash render timer that
+        // fires after restart cannot collide with a new token.
+    }
+
     fn on_event(&mut self, ev: AppEvent, api: &mut HostApi) {
         match ev {
             // --- DB side ---
@@ -255,9 +306,8 @@ impl App for WebServerApp {
                 }
             }
             AppEvent::Tcp(TcpEvent::ConnectFailed(sock)) if self.db_state.contains_key(&sock) => {
-                self.db_state.remove(&sock);
-                self.db_links.retain(|s| *s != sock);
                 self.stats.errors += 1;
+                self.db_link_lost(sock, api);
             }
             // --- client side ---
             AppEvent::Tcp(TcpEvent::Accepted { sock, .. }) => {
@@ -294,12 +344,16 @@ impl App for WebServerApp {
             AppEvent::Tcp(TcpEvent::PeerClosed(sock))
             | AppEvent::Tcp(TcpEvent::Closed(sock))
             | AppEvent::Tcp(TcpEvent::Reset(sock)) => {
-                if self.db_state.remove(&sock).is_some() {
-                    self.db_links.retain(|s| *s != sock);
+                if self.db_state.contains_key(&sock) {
+                    // Clients whose answers were due on this link stay
+                    // unanswered; the proxy's response timeout retries
+                    // them on another web VM.
+                    self.db_link_lost(sock, api);
                 } else {
                     self.clients.remove(&sock);
                 }
             }
+            AppEvent::Timer { token: RECONNECT_TOKEN } => self.refill_pool(api),
             AppEvent::Timer { token } => {
                 if let Some((client, resp)) = self.pending.remove(&token) {
                     if let Some(c) = self.clients.get_mut(&client) {
