@@ -21,6 +21,7 @@ fn tcp_payload(len: usize) -> Payload {
         flags: TcpFlags::ACK,
         window: 65535,
         data: Bytes::from(vec![0x61u8; len]),
+        gso_mss: 0,
     })
 }
 

@@ -28,6 +28,7 @@ fn payload() -> Payload {
         flags: TcpFlags::ACK,
         window: 65535,
         data: Bytes::from(vec![0u8; 1024]),
+        gso_mss: 0,
     })
 }
 

@@ -1,0 +1,297 @@
+//! Datapath batching benchmark: events dispatched per megabyte moved.
+//!
+//! A single bulk TCP flow between two EC2-style VMs (the Figure 3
+//! topology, minus Teredo), run once per GSO mode and once per
+//! scenario:
+//!
+//! - **basic** — plain TCP over IPv4.
+//! - **hip** — TCP over HIP/ESP with HIT addressing (every frame
+//!   encrypted; batched frames share one AES-CBC/HMAC pass).
+//!
+//! [`GsoMode::Off`] is the per-MSS reference datapath, [`GsoMode::Exact`]
+//! is the default batched datapath (bit-identical event schedule by
+//! construction — the interesting wins are the single-pass crypto and
+//! same-tick dispatch coalescing), and [`GsoMode::Merged`] is the
+//! opt-in GRO mode that delivers surviving frame runs as one arrival,
+//! collapsing the event count.
+//!
+//! The headline acceptance number: Merged mode must dispatch at least
+//! 2x fewer events per MB than Off on the basic bulk scenario. Event
+//! counts are deterministic (same seed, same schedule), so the
+//! assertion is immune to wall-clock noise.
+//!
+//! Writes `results/datapath_perf.json` plus a run manifest, and prints
+//! a perf-trajectory table against the previously committed JSON.
+//!
+//! Usage: `cargo run -p bench --release --bin datapath_perf [-- --quick]`
+
+use bench::datapath::bulk_transfer;
+use bench::report::{manifest, table, write_manifest};
+use netsim::tcp::GsoMode;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+fn mode_name(gso: GsoMode) -> &'static str {
+    match gso {
+        GsoMode::Off => "off",
+        GsoMode::Exact => "exact",
+        GsoMode::Merged => "merged",
+    }
+}
+
+/// One (scenario, mode) measurement.
+struct Row {
+    scenario: &'static str,
+    gso: GsoMode,
+    bytes: u64,
+    dispatched: u64,
+    packet_events: u64,
+    coalesced_runs: u64,
+    coalesced_events: u64,
+    wall: f64,
+    goodput_mbits: f64,
+    metrics: obs::MetricsRegistry,
+}
+
+impl Row {
+    fn events_per_mb(&self) -> f64 {
+        self.dispatched as f64 / (self.bytes as f64 / 1e6)
+    }
+}
+
+/// Runs one bulk transfer and collects its counters.
+fn run(hip: bool, gso: GsoMode, bytes: u64) -> Row {
+    let start = Instant::now();
+    let out = bulk_transfer(hip, gso, bytes, SEED);
+    let wall = start.elapsed().as_secs_f64();
+    Row {
+        scenario: if hip { "hip" } else { "basic" },
+        gso,
+        bytes,
+        dispatched: out.stats.dispatched,
+        packet_events: out.metrics.counter_value("engine.ev.packet").unwrap_or(0),
+        coalesced_runs: out.stats.coalesced_runs,
+        coalesced_events: out.stats.coalesced_events,
+        wall,
+        goodput_mbits: out.goodput_mbits,
+        metrics: out.metrics,
+    }
+}
+
+/// Pulls `"key": <number>` out of a flat JSON blob (the previous run's
+/// results file) without a JSON dependency.
+fn json_num(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick" || a == "--quick");
+    let bytes: u64 = if quick { 2 * 1024 * 1024 } else { 10 * 1024 * 1024 };
+    let reps = if quick { 1 } else { 2 };
+
+    // Read the committed baseline *before* overwriting it.
+    let prev = std::fs::read_to_string("results/datapath_perf.json").ok();
+    let prev_engine = std::fs::read_to_string("results/engine_perf.json").ok();
+
+    println!(
+        "datapath batching: single bulk flow, {} MB, basic + hip, gso off/exact/merged",
+        bytes / (1024 * 1024)
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for hip in [false, true] {
+        for gso in [GsoMode::Off, GsoMode::Exact, GsoMode::Merged] {
+            // Wall time is best-of-N on a shared machine; the event
+            // counters are deterministic and identical across reps.
+            let mut best = run(hip, gso, bytes);
+            for _ in 1..reps {
+                let again = run(hip, gso, bytes);
+                assert_eq!(again.dispatched, best.dispatched, "same seed must replay identically");
+                if again.wall < best.wall {
+                    best = again;
+                }
+            }
+            rows.push(best);
+        }
+    }
+
+    let display: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                mode_name(r.gso).to_string(),
+                format!("{:.1}", r.bytes as f64 / 1e6),
+                r.dispatched.to_string(),
+                r.packet_events.to_string(),
+                format!("{:.0}", r.events_per_mb()),
+                format!("{}/{}", r.coalesced_runs, r.coalesced_events),
+                format!("{:.3}", r.wall),
+                format!("{:.1}", r.goodput_mbits),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "scenario", "gso", "MB", "events", "pkt events", "ev/MB", "coalesced r/e",
+                "wall s", "Mbit/s"
+            ],
+            &display
+        )
+    );
+
+    let pick = |scenario: &str, gso: GsoMode| -> &Row {
+        rows.iter().find(|r| r.scenario == scenario && r.gso == gso).expect("row exists")
+    };
+
+    // Acceptance: batching must collapse the event count on bulk flows.
+    let basic_off = pick("basic", GsoMode::Off);
+    let basic_merged = pick("basic", GsoMode::Merged);
+    let reduction = basic_off.events_per_mb() / basic_merged.events_per_mb();
+    println!(
+        "basic bulk: {:.0} ev/MB unbatched vs {:.0} ev/MB merged — {reduction:.1}x fewer events",
+        basic_off.events_per_mb(),
+        basic_merged.events_per_mb()
+    );
+    assert!(
+        reduction >= 2.0,
+        "merged GSO/GRO must dispatch >= 2x fewer events per MB than the per-MSS \
+         datapath (got {reduction:.2}x)"
+    );
+    // Exact mode replays Off's event schedule bit-for-bit; its win is
+    // one crypto pass per batch + same-tick dispatch coalescing.
+    let basic_exact = pick("basic", GsoMode::Exact);
+    assert_eq!(
+        basic_exact.dispatched, basic_off.dispatched,
+        "Exact GSO must preserve the unbatched event schedule"
+    );
+    assert_eq!(
+        pick("hip", GsoMode::Exact).dispatched,
+        pick("hip", GsoMode::Off).dispatched,
+        "Exact GSO must preserve the unbatched event schedule over ESP too"
+    );
+    // Same-tick coalescing shows up where arrivals share a timestamp:
+    // ESP frames charged the same CPU delay land back-to-back. (On the
+    // plain path, link serialization spaces every frame apart.)
+    assert!(
+        pick("hip", GsoMode::Exact).coalesced_events > 0,
+        "same-tick coalescing must batch at least some back-to-back arrivals"
+    );
+
+    // Perf trajectory vs the committed baseline.
+    let mut traj: Vec<Vec<String>> = Vec::new();
+    let mut trend = |name: &str, baseline: Option<f64>, now: f64, better_low: bool| {
+        let delta = baseline.map_or("first run".to_string(), |b| {
+            if b == 0.0 {
+                "n/a".to_string()
+            } else {
+                let pct = (now / b - 1.0) * 100.0;
+                let verdict = if pct.abs() < 0.05 {
+                    "(equal)"
+                } else if (pct < 0.0) == better_low {
+                    "(better)"
+                } else {
+                    "(worse)"
+                };
+                format!("{pct:+.1}% {verdict}")
+            }
+        });
+        traj.push(vec![
+            name.to_string(),
+            baseline.map_or("-".to_string(), |b| format!("{b:.0}")),
+            format!("{now:.0}"),
+            delta,
+        ]);
+    };
+    trend(
+        "basic merged ev/MB",
+        prev.as_deref().and_then(|t| json_num(t, "basic_merged_events_per_mb")),
+        basic_merged.events_per_mb(),
+        true,
+    );
+    trend(
+        "basic off ev/MB",
+        prev.as_deref().and_then(|t| json_num(t, "basic_off_events_per_mb")),
+        basic_off.events_per_mb(),
+        true,
+    );
+    trend(
+        "hip exact ev/MB",
+        prev.as_deref().and_then(|t| json_num(t, "hip_exact_events_per_mb")),
+        pick("hip", GsoMode::Exact).events_per_mb(),
+        true,
+    );
+    println!("perf trajectory vs committed results/:");
+    println!("{}", table(&["metric", "baseline", "now", "delta"], &traj));
+    if let Some(eps) = prev_engine.as_deref().and_then(|t| json_num(t, "events_per_sec")) {
+        println!("(committed engine_perf baseline: {eps:.0} events/sec end-to-end)");
+    }
+
+    std::fs::create_dir_all("results").expect("mkdir results");
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"scenario\": \"{}\", \"gso\": \"{}\", \"bytes\": {}, \
+                 \"dispatched_events\": {}, \"packet_events\": {}, \
+                 \"events_per_mb\": {:.1}, \"coalesced_runs\": {}, \
+                 \"coalesced_events\": {}, \"wall_seconds\": {:.4}, \
+                 \"goodput_mbits\": {:.2}}}",
+                r.scenario,
+                mode_name(r.gso),
+                r.bytes,
+                r.dispatched,
+                r.packet_events,
+                r.events_per_mb(),
+                r.coalesced_runs,
+                r.coalesced_events,
+                r.wall,
+                r.goodput_mbits,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bulk_bytes\": {bytes},\n  \"rows\": [\n{}\n  ],\n  \
+         \"basic_off_events_per_mb\": {:.1},\n  \
+         \"basic_exact_events_per_mb\": {:.1},\n  \
+         \"basic_merged_events_per_mb\": {:.1},\n  \
+         \"hip_off_events_per_mb\": {:.1},\n  \
+         \"hip_exact_events_per_mb\": {:.1},\n  \
+         \"merged_event_reduction\": {reduction:.2}\n}}\n",
+        row_json.join(",\n"),
+        basic_off.events_per_mb(),
+        basic_exact.events_per_mb(),
+        basic_merged.events_per_mb(),
+        pick("hip", GsoMode::Off).events_per_mb(),
+        pick("hip", GsoMode::Exact).events_per_mb(),
+    );
+    std::fs::write("results/datapath_perf.json", json).expect("write results/datapath_perf.json");
+    println!("wrote results/datapath_perf.json");
+
+    let mut merged_metrics = obs::MetricsRegistry::new();
+    let mut total_wall = 0.0;
+    let mut total_dispatched = 0;
+    for r in &rows {
+        merged_metrics.merge(&r.metrics);
+        total_wall += r.wall;
+        total_dispatched += r.dispatched;
+    }
+    let mut m = manifest("datapath_perf", if quick { "quick" } else { "default" }, SEED);
+    m.num("bulk_bytes", bytes)
+        .num("basic_off_events_per_mb", format!("{:.1}", basic_off.events_per_mb()))
+        .num("basic_merged_events_per_mb", format!("{:.1}", basic_merged.events_per_mb()))
+        .num("merged_event_reduction", format!("{reduction:.2}"));
+    match write_manifest(m, total_wall, total_dispatched, &merged_metrics) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("manifest write failed: {e}"),
+    }
+}

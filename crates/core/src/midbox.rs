@@ -159,7 +159,7 @@ mod tests {
         Packet::new(
             v4(10, 0, 0, 1),
             v4(10, 0, 0, 2),
-            Payload::Esp(EspPacket { spi, seq: 1, ciphertext: Bytes::from(vec![0; 48]), icv: Bytes::from(vec![0; 16]) }),
+            Payload::Esp(EspPacket { spi, seq: 1, ciphertext: Bytes::from(vec![0; 48]), icv: Bytes::from(vec![0; 16]), gso: None }),
         )
     }
 
@@ -222,6 +222,7 @@ mod tests {
                 flags: netsim::packet::TcpFlags::SYN,
                 window: 100,
                 data: Bytes::new(),
+                gso_mss: 0,
             }),
         );
         assert_eq!(fw.inspect(&tcp), Action::Allow);

@@ -278,6 +278,7 @@ fn injected_esp_with_unknown_spi_is_dropped() {
         seq: 1,
         ciphertext: Bytes::from(vec![0x41u8; 64]),
         icv: Bytes::from(vec![0x41u8; 16]),
+        gso: None,
     };
     w.sim.schedule(
         netsim::SimDuration::from_millis(1),

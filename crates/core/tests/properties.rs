@@ -127,6 +127,7 @@ proptest! {
             flags: TcpFlags::ACK,
             window: 100,
             data: Bytes::from(data.clone()),
+            gso_mss: 0,
         });
         let esp = tx.encapsulate(InnerMode::Hit, &payload, seed);
         let (mode, back) = rx.decapsulate(&esp).expect("round trips");

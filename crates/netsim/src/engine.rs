@@ -18,7 +18,7 @@
 //! not a protocol layer bothers to cancel.
 
 use crate::link::{DropCause, Endpoint, Link, LinkId, LinkParams, NodeId, TxResult};
-use crate::packet::Packet;
+use crate::packet::{split_gso, Packet, Payload, TcpSegment};
 use crate::sched::CalendarQueue;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{PktInfo, Trace, TraceData};
@@ -333,6 +333,9 @@ impl Ctx<'_> {
     /// Transmits `pkt` on `link`. Loss and queueing are resolved here;
     /// delivery (if any) is scheduled automatically.
     pub fn transmit(&mut self, link: LinkId, pkt: Packet) {
+        if matches!(&pkt.payload, Payload::Tcp(seg) if seg.gso_mss > 0) {
+            return self.transmit_gso(link, &pkt);
+        }
         let l = &mut self.links[link.0];
         let loss_draw: f64 = self.rng.random();
         let jitter_draw: f64 = self.rng.random();
@@ -352,6 +355,98 @@ impl Ctx<'_> {
                 });
             }
         }
+    }
+
+    /// Merged-mode GSO transmit (GRO in one step): the super-segment is
+    /// charged to the link as its individual MTU frames — identical
+    /// wire bytes, serialization delays, loss/jitter draws, drop traces
+    /// and counters — but each surviving run of contiguous frames is
+    /// delivered as ONE merged segment at the run's last-frame arrival
+    /// time, so the receiver handles one event (and sends one ACK) per
+    /// run instead of one per frame. Byte streams are identical to
+    /// unbatched; delivery timing within a run is approximated by its
+    /// tail. A lost frame splits the super: the runs around it arrive
+    /// separately and retransmission covers the gap exactly as in
+    /// per-frame mode.
+    fn transmit_gso(&mut self, link: LinkId, pkt: &Packet) {
+        let Payload::Tcp(seg) = &pkt.payload else { return };
+        let frames = split_gso(seg);
+        let mut run_start: Option<usize> = None;
+        let mut run_last = 0usize;
+        let mut run_to: Option<Endpoint> = None;
+        let mut run_at = self.now;
+        for (i, frame) in frames.iter().enumerate() {
+            let fpkt = Packet::new(pkt.src, pkt.dst, Payload::Tcp(frame.clone()));
+            let l = &mut self.links[link.0];
+            let loss_draw: f64 = self.rng.random();
+            let jitter_draw: f64 = self.rng.random();
+            match l.transmit(self.node, fpkt.wire_len(), self.now, loss_draw, jitter_draw) {
+                TxResult::Deliver { to, at } => {
+                    self.trace.record(self.now, self.node, || TraceData::Tx(pkt_info(&fpkt)));
+                    if run_start.is_none() {
+                        run_start = Some(i);
+                    }
+                    run_last = i;
+                    run_to = Some(to);
+                    run_at = at;
+                }
+                TxResult::Dropped { cause } => {
+                    self.metrics.inc(self.ids.link_drops);
+                    if matches!(cause, DropCause::Burst | DropCause::LinkDown | DropCause::Partition) {
+                        self.metrics.add_name(cause.reason(), 1);
+                    }
+                    self.trace.record(self.now, self.node, || TraceData::Drop {
+                        pkt: Some(pkt_info(&fpkt)),
+                        reason: cause.reason().to_string(),
+                    });
+                    if let (Some(start), Some(to)) = (run_start.take(), run_to.take()) {
+                        self.emit_merged(pkt, &frames, start, run_last, to, run_at);
+                    }
+                }
+            }
+        }
+        if let (Some(start), Some(to)) = (run_start, run_to) {
+            self.emit_merged(pkt, &frames, start, run_last, to, run_at);
+        }
+    }
+
+    /// Delivers frames `start..=last` of a GSO super as one merged
+    /// segment arriving at `at` (the run tail's arrival time).
+    fn emit_merged(
+        &mut self,
+        pkt: &Packet,
+        frames: &[TcpSegment],
+        start: usize,
+        last: usize,
+        to: Endpoint,
+        at: SimTime,
+    ) {
+        let Payload::Tcp(seg) = &pkt.payload else { return };
+        let merged = if start == last {
+            frames[start].clone()
+        } else {
+            let mss = seg.gso_mss as usize;
+            let off = start * mss;
+            let end = ((last + 1) * mss).min(seg.data.len());
+            TcpSegment {
+                src_port: seg.src_port,
+                dst_port: seg.dst_port,
+                seq: frames[start].seq,
+                ack: seg.ack,
+                flags: frames[last].flags,
+                window: seg.window,
+                data: seg.data.slice(off..end),
+                gso_mss: 0,
+            }
+        };
+        self.emitted.push((
+            at,
+            Event::PacketArrive {
+                node: to.node,
+                iface: to.iface,
+                pkt: Packet::new(pkt.src, pkt.dst, Payload::Tcp(merged)),
+            },
+        ));
     }
 
     /// Transmits `pkt` on `link` after `delay` (models CPU processing
@@ -475,6 +570,11 @@ pub struct SimStats {
     pub queue_overflow_pushes: u64,
     /// Events migrated from overflow into the active window.
     pub queue_migrations: u64,
+    /// Same-tick packet runs dispatched under one node checkout
+    /// (runs of length ≥ 2 only).
+    pub coalesced_runs: u64,
+    /// Packet events that rode in those runs (run lengths summed).
+    pub coalesced_events: u64,
 }
 
 /// How [`Sim::run_to_quiescence`] ended.
@@ -528,6 +628,8 @@ pub struct Sim {
     /// Recycled `Ctx::emitted` buffer so each dispatch reuses one
     /// allocation instead of growing a fresh `Vec`.
     scratch_emitted: Vec<(SimTime, Event)>,
+    /// Recycled buffer for same-tick packet runs (see `dispatch_run`).
+    scratch_run: Vec<(usize, Packet)>,
 }
 
 impl Sim {
@@ -549,6 +651,7 @@ impl Sim {
             stats: SimStats::default(),
             crashed: Vec::new(),
             scratch_emitted: Vec::new(),
+            scratch_run: Vec::new(),
         }
     }
 
@@ -634,8 +737,7 @@ impl Sim {
                 continue;
             }
             self.now = at;
-            self.dispatch(event);
-            processed += 1;
+            processed += self.dispatch_run(event, u64::MAX);
         }
         // Time advances to the deadline even if the queue drained early.
         if self.now < deadline {
@@ -659,8 +761,7 @@ impl Sim {
                 continue;
             }
             self.now = at;
-            self.dispatch(event);
-            processed += 1;
+            processed += self.dispatch_run(event, max_events - processed);
         }
         if self.queue.is_empty() {
             RunOutcome::Quiescent(processed)
@@ -679,6 +780,68 @@ impl Sim {
             }
         }
         false
+    }
+
+    /// Dispatches `event`. If it is a `PacketArrive`, also drains the
+    /// run of immediately-following queued `PacketArrive`s for the same
+    /// node at the same timestamp (stopping at anything else) and
+    /// handles the whole run under a single node checkout — one `Ctx`
+    /// build and one emission drain instead of one per packet. Event
+    /// order, emission order and sequence numbers are unchanged: the
+    /// run is exactly the events that would have popped consecutively,
+    /// and nothing a handler does can reorder packets already queued
+    /// ahead of its own emissions. Returns how many events were
+    /// consumed (≥ 1); `limit` caps the run for `run_to_quiescence`.
+    fn dispatch_run(&mut self, event: Event, limit: u64) -> u64 {
+        let Event::PacketArrive { node, iface, pkt } = event else {
+            self.dispatch(event);
+            return 1;
+        };
+        self.stats.dispatched += 1;
+        self.metrics.inc(self.engine_ids.ev_packet);
+        self.metrics.observe(self.engine_ids.pkt_bytes, pkt.wire_len() as u64);
+        let mut run = std::mem::take(&mut self.scratch_run);
+        run.clear();
+        run.push((iface, pkt));
+        while (run.len() as u64) < limit {
+            match self.queue.peek() {
+                Some((at, _seq, Event::PacketArrive { node: n, .. }))
+                    if at == self.now && *n == node => {}
+                _ => break,
+            }
+            let Some((_, _, Event::PacketArrive { iface, pkt, .. })) = self.queue.pop() else {
+                unreachable!("peeked a PacketArrive");
+            };
+            self.stats.dispatched += 1;
+            self.metrics.inc(self.engine_ids.ev_packet);
+            self.metrics.observe(self.engine_ids.pkt_bytes, pkt.wire_len() as u64);
+            run.push((iface, pkt));
+        }
+        let count = run.len() as u64;
+        if count > 1 {
+            self.stats.coalesced_runs += 1;
+            self.stats.coalesced_events += count;
+        }
+        if self.world.nodes.get(node.0).map(Option::is_some) != Some(true) {
+            // Node removed mid-flight; drop silently.
+        } else if self.is_crashed(node) {
+            for (_, pkt) in &run {
+                self.trace.record(self.now, node, || TraceData::Drop {
+                    pkt: Some(pkt_info(pkt)),
+                    reason: "fault.node_down".to_string(),
+                });
+            }
+        } else {
+            self.with_node(node, |n, ctx| {
+                for (iface, pkt) in run.drain(..) {
+                    ctx.trace.record(ctx.now, node, || TraceData::Rx(pkt_info(&pkt)));
+                    n.handle_packet(iface, pkt, ctx);
+                }
+            });
+        }
+        run.clear();
+        self.scratch_run = run;
+        count
     }
 
     fn dispatch(&mut self, event: Event) {

@@ -22,7 +22,7 @@ use crate::link::LinkId;
 use crate::packet::{
     proto, IcmpKind, IcmpMessage, Packet, Payload, UdpData, UdpDatagram,
 };
-use crate::tcp::{SockId, TcpConfig, TcpEvent, TcpLayer};
+use crate::tcp::{GsoMode, SockId, TcpConfig, TcpEvent, TcpLayer};
 use crate::teredo::TeredoClient;
 use crate::time::{SimDuration, SimTime};
 use std::any::Any;
@@ -262,6 +262,21 @@ impl HostCore {
     /// Sends a locator-addressed packet toward the network after `delay`
     /// (the delay models CPU processing already charged by the caller).
     pub fn send_wire(&mut self, ctx: &mut Ctx, delay: SimDuration, pkt: Packet) {
+        if let Payload::Tcp(seg) = &pkt.payload {
+            // NIC-level GSO split: a super-segment travels the stack
+            // once but hits the wire as per-MTU frames, in the exact
+            // order unbatched TCP would have sent them. `Merged` mode
+            // keeps the super intact for the link layer to merge on the
+            // far side — except over Teredo, which tunnels per frame.
+            let needs_teredo = pkt.dst.is_ipv6() && !self.has_native_v6();
+            if seg.gso_mss > 0 && (self.tcp.config.gso != GsoMode::Merged || needs_teredo) {
+                for frame in crate::packet::split_gso(seg) {
+                    let f = Packet::new(pkt.src, pkt.dst, Payload::Tcp(frame));
+                    self.send_wire(ctx, delay, f);
+                }
+                return;
+            }
+        }
         let mut pkt = pkt;
         // IPv6 destination with no native IPv6: tunnel through Teredo.
         if pkt.dst.is_ipv6() && !self.has_native_v6() {

@@ -25,6 +25,7 @@ pub mod cpu;
 pub mod dns;
 pub mod engine;
 pub mod fault;
+pub mod fx;
 pub mod host;
 pub mod link;
 pub mod nat;

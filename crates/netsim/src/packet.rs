@@ -9,6 +9,7 @@
 use bytes::Bytes;
 use std::fmt;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::sync::{Arc, OnceLock};
 
 /// IP protocol numbers we model (a subset of the IANA registry).
 pub mod proto {
@@ -92,7 +93,7 @@ impl Payload {
             Payload::Udp(d) => 8 + d.data.wire_len(),
             Payload::Icmp(m) => 8 + m.payload_len,
             // SPI (4) + seq (4) + ciphertext (includes IV/padding) + ICV.
-            Payload::Esp(e) => 8 + e.ciphertext.len() + e.icv.len(),
+            Payload::Esp(e) => e.wire_len(),
             Payload::HipControl(b) => b.len(),
         }
     }
@@ -160,6 +161,41 @@ pub struct TcpSegment {
     pub window: u32,
     /// Payload bytes.
     pub data: Bytes,
+    /// GSO: when non-zero, this is a super-segment logically composed
+    /// of MSS-sized frames of this size. The NIC layer splits it back
+    /// into wire frames (see [`split_gso`]) before the link; a zero
+    /// value marks an ordinary wire segment.
+    pub gso_mss: u16,
+}
+
+/// Splits a GSO super-segment into its per-frame MSS segments
+/// (zero-copy slices of the super's payload). The frames are exactly
+/// the segments per-MSS emission would have produced: sequence numbers
+/// advance by frame length, FIN rides only on the final frame, and
+/// ack/window/flags otherwise replicate.
+pub fn split_gso(seg: &TcpSegment) -> Vec<TcpSegment> {
+    let mss = seg.gso_mss as usize;
+    debug_assert!(mss > 0, "split_gso on a non-GSO segment");
+    let mut frames = Vec::with_capacity(seg.data.len().div_ceil(mss.max(1)));
+    let mut off = 0;
+    while off < seg.data.len() {
+        let take = mss.min(seg.data.len() - off);
+        let last = off + take == seg.data.len();
+        let mut flags = seg.flags;
+        flags.fin = seg.flags.fin && last;
+        frames.push(TcpSegment {
+            src_port: seg.src_port,
+            dst_port: seg.dst_port,
+            seq: seg.seq.wrapping_add(off as u32),
+            ack: seg.ack,
+            flags,
+            window: seg.window,
+            data: seg.data.slice(off..off + take),
+            gso_mss: 0,
+        });
+        off += take;
+    }
+    frames
 }
 
 /// A UDP datagram.
@@ -228,9 +264,69 @@ pub struct EspPacket {
     /// Monotonic sequence number (anti-replay).
     pub seq: u32,
     /// IV + AES-CBC ciphertext of the inner payload. Real bytes.
+    /// Empty when `gso` is set — the frame's bytes live in the batch.
     pub ciphertext: Bytes,
     /// Truncated HMAC-SHA-256 integrity check value. Real bytes.
+    /// Empty when `gso` is set.
     pub icv: Bytes,
+    /// Present when this packet is one frame of a GSO batch that was
+    /// encrypted in a single pass. The per-frame wire length is still
+    /// declared exactly as unbatched encryption would have produced it.
+    pub gso: Option<EspGsoFrame>,
+}
+
+impl EspPacket {
+    /// Bytes this ESP payload occupies on the wire (excluding IP).
+    pub fn wire_len(&self) -> usize {
+        match &self.gso {
+            // SPI (4) + seq (4) + the frame's declared IV+ct+ICV bytes.
+            Some(f) => 8 + f.batch.frames[f.index as usize].wire_payload_len as usize,
+            None => 8 + self.ciphertext.len() + self.icv.len(),
+        }
+    }
+}
+
+/// One frame's view into a shared ESP GSO batch.
+#[derive(Clone, Debug)]
+pub struct EspGsoFrame {
+    /// The batch this frame belongs to (shared by all its frames).
+    pub batch: Arc<EspBatch>,
+    /// Index into [`EspBatch::frames`].
+    pub index: u32,
+}
+
+/// A batch of ESP frames encrypted with a single AES-CBC/HMAC pass
+/// over the concatenated inner encodings. Frames carry consecutive
+/// sequence numbers starting at `first_seq`; each declares the wire
+/// length unbatched per-frame encryption would have produced, so link
+/// accounting is unchanged.
+#[derive(Debug)]
+pub struct EspBatch {
+    /// Sequence number of the first frame.
+    pub first_seq: u32,
+    /// IV + one CBC pass over the concatenated inner encodings.
+    pub ciphertext: Bytes,
+    /// One ICV over `spi ‖ first_seq ‖ ciphertext`.
+    pub icv: Bytes,
+    /// Per-frame offsets into the concatenated plaintext.
+    pub frames: Vec<EspFrameMeta>,
+    /// Receiver-side memoized decrypt: `None` = batch failed
+    /// authentication/decryption; `Some` = the concatenated plaintext.
+    /// Initialized at most once no matter how many frames arrive.
+    pub plain: OnceLock<Option<Bytes>>,
+}
+
+/// Offsets of one frame inside an [`EspBatch`].
+#[derive(Clone, Copy, Debug)]
+pub struct EspFrameMeta {
+    /// Byte offset of this frame's inner encoding in the batch plaintext.
+    pub inner_off: u32,
+    /// Length of this frame's inner encoding.
+    pub inner_len: u32,
+    /// IV + ciphertext + ICV bytes this frame would occupy on the wire
+    /// had it been encrypted alone (analytic; excludes the 8-byte ESP
+    /// header).
+    pub wire_payload_len: u32,
 }
 
 /// Convenience constructors used across the workspace and in tests.
@@ -262,6 +358,7 @@ mod tests {
                 flags: TcpFlags::SYN,
                 window: 65535,
                 data: Bytes::new(),
+                gso_mss: 0,
             }),
         );
         // 20 IP + 20 TCP
@@ -319,6 +416,7 @@ mod tests {
                 seq: 9,
                 ciphertext: Bytes::from(vec![0u8; 64]),
                 icv: Bytes::from(vec![0u8; 16]),
+                gso: None,
             }),
         );
         assert_eq!(pkt.wire_len(), 20 + 8 + 64 + 16);
@@ -328,5 +426,57 @@ mod tests {
     fn flags_debug_compact() {
         assert_eq!(format!("{:?}", TcpFlags::SYN_ACK), "[SA]");
         assert_eq!(format!("{:?}", TcpFlags::RST), "[R]");
+    }
+
+    #[test]
+    fn split_gso_reproduces_per_mss_frames() {
+        let data: Vec<u8> = (0..3500u32).map(|i| (i % 251) as u8).collect();
+        let sup = TcpSegment {
+            src_port: 1,
+            dst_port: 2,
+            seq: u32::MAX - 1000, // exercises wraparound
+            ack: 42,
+            flags: TcpFlags::FIN_ACK,
+            window: 8192,
+            data: Bytes::from(data.clone()),
+            gso_mss: 1448,
+        };
+        let frames = split_gso(&sup);
+        assert_eq!(frames.len(), 3); // 1448 + 1448 + 604
+        let mut reassembled = Vec::new();
+        let mut expect_seq = sup.seq;
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.seq, expect_seq);
+            assert_eq!(f.gso_mss, 0);
+            assert_eq!(f.ack, sup.ack);
+            assert_eq!(f.window, sup.window);
+            assert!(f.flags.ack);
+            assert_eq!(f.flags.fin, i == frames.len() - 1, "FIN only on last");
+            reassembled.extend_from_slice(&f.data);
+            expect_seq = expect_seq.wrapping_add(f.data.len() as u32);
+        }
+        assert_eq!(reassembled, data);
+    }
+
+    #[test]
+    fn gso_esp_frame_declares_unbatched_wire_len() {
+        let batch = Arc::new(EspBatch {
+            first_seq: 7,
+            ciphertext: Bytes::from(vec![0u8; 160]),
+            icv: Bytes::from(vec![0u8; 16]),
+            frames: vec![
+                EspFrameMeta { inner_off: 0, inner_len: 30, wire_payload_len: 16 + 32 + 16 },
+                EspFrameMeta { inner_off: 30, inner_len: 40, wire_payload_len: 16 + 48 + 16 },
+            ],
+            plain: OnceLock::new(),
+        });
+        let frame = EspPacket {
+            spi: 1,
+            seq: 8,
+            ciphertext: Bytes::new(),
+            icv: Bytes::new(),
+            gso: Some(EspGsoFrame { batch, index: 1 }),
+        };
+        assert_eq!(frame.wire_len(), 8 + 16 + 48 + 16);
     }
 }

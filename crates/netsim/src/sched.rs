@@ -314,6 +314,15 @@ impl<T> CalendarQueue<T> {
         self.cur.last().map(|e| (SimTime(e.at), e.seq))
     }
 
+    /// The earliest event — key plus a borrow of the item — without
+    /// popping it, advancing the window if needed (hence `&mut`).
+    pub fn peek(&mut self) -> Option<(SimTime, u64, &T)> {
+        if !self.advance() {
+            return None;
+        }
+        self.cur.last().map(|e| (SimTime(e.at), e.seq, &e.item))
+    }
+
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
         if !self.advance() {

@@ -12,11 +12,18 @@
 //! application events and timer requests which the host drains after
 //! each call — keeping this module purely about protocol state.
 
+use crate::fx::FxHashMap;
 use crate::packet::{Packet, Payload, TcpFlags, TcpSegment};
 use crate::time::{SimDuration, SimTime};
 use bytes::Bytes;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::net::IpAddr;
+
+/// Connection 4-tuple: (local addr, local port, remote addr, remote port).
+type ConnKey = (IpAddr, u16, IpAddr, u16);
+
+/// Upper bound on a GSO super-segment (bytes), before MSS alignment.
+const GSO_MAX: usize = 65_536;
 
 /// Identifies a socket within one host's TCP layer.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -46,6 +53,35 @@ pub enum TcpEvent {
     Reset(SockId),
 }
 
+/// Sender-side segmentation offload (GSO) policy.
+///
+/// Batching is a *simulator-mechanism* optimization: the TCP layer
+/// emits one super-segment per send burst instead of one packet per
+/// MSS, and the NIC layer turns it back into per-frame wire traffic.
+/// What varies between the modes is how much of the per-frame work is
+/// recreated, and therefore how strong the equivalence guarantee is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GsoMode {
+    /// One MSS-sized segment per packet (the pre-batching behavior).
+    Off,
+    /// Emit super-segments; the NIC layer (host `send_wire` for plain
+    /// TCP, the ESP shim for HIP) splits them into per-frame wire
+    /// packets immediately before the link, drawing per-frame
+    /// loss/jitter in the same order as `Off`. Every wire-visible event
+    /// is identical to `Off` — goldens stay bit-identical — while TCP
+    /// segmentation and ESP crypto run once per burst.
+    Exact,
+    /// Super-segments survive onto the wire as merged arrivals (GRO):
+    /// the link still draws loss/jitter and accounts wire bytes,
+    /// serialization and drops per frame, but surviving contiguous
+    /// frame runs deliver as a single event ACKed once. Application
+    /// streams stay byte-identical and wire/drop counters match on
+    /// clean links; delivery timing is approximate. Opt-in for
+    /// bulk-transfer benchmarks (Basic TCP only; the ESP shim always
+    /// splits exactly).
+    Merged,
+}
+
 /// TCP tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct TcpConfig {
@@ -64,6 +100,8 @@ pub struct TcpConfig {
     /// Disable congestion control (window limited by receiver only) —
     /// not used by the experiments but handy for microbenchmarks.
     pub congestion_control: bool,
+    /// Sender-side segmentation offload policy (see [`GsoMode`]).
+    pub gso: GsoMode,
 }
 
 impl Default for TcpConfig {
@@ -76,6 +114,7 @@ impl Default for TcpConfig {
             rto_min: SimDuration::from_millis(200),
             syn_retries: 5,
             congestion_control: true,
+            gso: GsoMode::Exact,
         }
     }
 }
@@ -157,8 +196,14 @@ fn seq_le(a: u32, b: u32) -> bool {
 /// The per-host TCP layer.
 pub struct TcpLayer {
     sockets: Vec<Option<TcpSocket>>,
-    conn_map: HashMap<(IpAddr, u16, IpAddr, u16), SockId>,
-    listeners: HashMap<u16, usize>,
+    conn_map: FxHashMap<ConnKey, SockId>,
+    /// One-entry MRU cache in front of `conn_map`: bulk transfers hit
+    /// the same flow for long runs of segments.
+    last_flow: Option<(ConnKey, SockId)>,
+    /// Sockets grouped by remote address, so `abort_to` is a lookup
+    /// instead of a scan over every socket.
+    by_remote: FxHashMap<IpAddr, Vec<SockId>>,
+    listeners: FxHashMap<u16, usize>,
     next_ephemeral: u16,
     /// Default configuration for new sockets.
     pub config: TcpConfig,
@@ -195,8 +240,10 @@ impl TcpLayer {
     pub fn new(config: TcpConfig) -> Self {
         TcpLayer {
             sockets: Vec::new(),
-            conn_map: HashMap::new(),
-            listeners: HashMap::new(),
+            conn_map: FxHashMap::default(),
+            last_flow: None,
+            by_remote: FxHashMap::default(),
+            listeners: FxHashMap::default(),
             next_ephemeral: 49152,
             config,
             out: Vec::new(),
@@ -241,6 +288,7 @@ impl TcpLayer {
         sock.snd_una = iss;
         sock.snd_nxt = iss.wrapping_add(1);
         self.conn_map.insert((local_addr, local_port, remote.0, remote.1), id);
+        self.by_remote.entry(remote.0).or_default().push(id);
         let syn = sock.make_segment(iss, TcpFlags::SYN, Bytes::new());
         sock.arm_rtx(now, &mut self.timer_reqs);
         self.out.push(syn);
@@ -338,8 +386,11 @@ impl TcpLayer {
     /// handshake report [`TcpEvent::ConnectFailed`], established ones
     /// [`TcpEvent::Reset`]. No RST is sent: the peer is unreachable.
     pub fn abort_to(&mut self, remote: IpAddr) {
-        let ids: Vec<SockId> =
-            self.sockets.iter().flatten().filter(|s| s.remote.0 == remote).map(|s| s.id).collect();
+        let mut ids = self.by_remote.get(&remote).cloned().unwrap_or_default();
+        // The index is insertion-ordered (and `release` swap-removes);
+        // sort so events fire in socket-index order like the old full
+        // scan did — event order is part of the determinism contract.
+        ids.sort_unstable();
         for id in ids {
             let Some(s) = self.sockets.get(id.0).and_then(Option::as_ref) else { continue };
             let app = s.owner_app;
@@ -356,7 +407,16 @@ impl TcpLayer {
     /// Handles an inbound segment addressed to this host.
     pub fn segment_arrives(&mut self, src: IpAddr, dst: IpAddr, seg: TcpSegment, now: SimTime) {
         let key = (dst, seg.dst_port, src, seg.src_port);
+        // MRU hint first: long bursts hit the same flow back-to-back.
+        // `release` clears the hint, so a hit is never stale.
+        if let Some((hint_key, id)) = self.last_flow {
+            if hint_key == key {
+                self.on_segment(id, seg, now);
+                return;
+            }
+        }
         if let Some(&id) = self.conn_map.get(&key) {
+            self.last_flow = Some((key, id));
             self.on_segment(id, seg, now);
             return;
         }
@@ -379,6 +439,7 @@ impl TcpLayer {
                 let synack = sock.make_segment(iss, TcpFlags::SYN_ACK, Bytes::new());
                 sock.arm_rtx(now, &mut self.timer_reqs);
                 self.conn_map.insert(key, id);
+                self.by_remote.entry(src).or_default().push(id);
                 self.out.push(synack);
                 self.sockets[id.0] = Some(sock);
                 return;
@@ -397,6 +458,7 @@ impl TcpLayer {
                     flags: TcpFlags::RST,
                     window: 0,
                     data: Bytes::new(),
+                    gso_mss: 0,
                 }),
             );
             self.out.push(rst);
@@ -545,7 +607,15 @@ impl TcpLayer {
                 // Congestion window growth.
                 if s.cfg.congestion_control {
                     if s.cwnd < s.ssthresh {
-                        s.cwnd += (data_acked as u64).min(s.cfg.mss as u64);
+                        // Merged-mode GRO decimates ACKs (one per merged
+                        // arrival); byte-counting keeps slow start growing
+                        // at the same per-byte rate (RFC 3465 style).
+                        let inc = if s.cfg.gso == GsoMode::Merged {
+                            data_acked as u64
+                        } else {
+                            (data_acked as u64).min(s.cfg.mss as u64)
+                        };
+                        s.cwnd += inc;
                     } else {
                         let inc = (s.cfg.mss as u64 * s.cfg.mss as u64 / s.cwnd.max(1)).max(1);
                         s.cwnd += inc;
@@ -664,7 +734,19 @@ impl TcpLayer {
     fn release(&mut self, id: SockId) {
         if let Some(Some(s)) = self.sockets.get(id.0) {
             let key = (s.local.0, s.local.1, s.remote.0, s.remote.1);
+            let remote = s.remote.0;
             self.conn_map.remove(&key);
+            if self.last_flow.is_some_and(|(_, hint_id)| hint_id == id) {
+                self.last_flow = None;
+            }
+            if let Some(v) = self.by_remote.get_mut(&remote) {
+                if let Some(pos) = v.iter().position(|&x| x == id) {
+                    v.swap_remove(pos);
+                }
+                if v.is_empty() {
+                    self.by_remote.remove(&remote);
+                }
+            }
             self.cancel_reqs.push(id.0 as u64);
         }
         if let Some(slot) = self.sockets.get_mut(id.0) {
@@ -729,6 +811,7 @@ impl TcpSocket {
                 flags,
                 window: self.cfg.recv_window,
                 data,
+                gso_mss: 0,
             }),
         )
     }
@@ -740,6 +823,14 @@ impl TcpSocket {
 
     /// Sends as much buffered data as windows allow; sends FIN when the
     /// buffer drains and a close is pending.
+    ///
+    /// The burst the windows permit is carved out of the send deque in
+    /// one allocation and every emitted segment is a zero-copy slice of
+    /// it. Under [`GsoMode::Exact`]/[`GsoMode::Merged`] the loop emits
+    /// super-segments of up to [`GSO_MAX`] bytes, clamped to a multiple
+    /// of the MSS so a capped super ends exactly on a per-MSS frame
+    /// boundary — the NIC-layer split then reproduces `Off`-mode wire
+    /// frames byte for byte.
     fn try_output(
         &mut self,
         out: &mut Vec<Packet>,
@@ -753,54 +844,74 @@ impl TcpSocket {
             return;
         }
         let mut sent_any = false;
-        loop {
-            let flight = self.snd_nxt.wrapping_sub(self.snd_una) as u64;
-            let wnd = if self.cfg.congestion_control {
-                self.cwnd.min(self.snd_wnd as u64)
-            } else {
-                self.snd_wnd as u64
-            };
-            let available = wnd.saturating_sub(flight) as usize;
-            let unsent_off = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
-            // When a FIN is in flight the buffer offset excludes it.
-            let unsent_off = unsent_off.min(self.send_buf.len());
-            let unsent = self.send_buf.len() - unsent_off;
-            if unsent > 0 && available > 0 && self.fin_seq.is_none() {
-                let take = unsent.min(available).min(self.cfg.mss);
-                let chunk = self.copy_send_range(unsent_off, take);
-                let seq = self.snd_nxt;
-                let mut flags = TcpFlags::ACK;
-                // Piggyback FIN on the last segment if closing and this
-                // drains the buffer.
-                let drains = unsent_off + take == self.send_buf.len();
-                if self.fin_pending && drains && take == unsent {
-                    flags.fin = true;
-                }
-                let pkt = self.make_segment(seq, flags, Bytes::from(chunk));
-                self.snd_nxt = self.snd_nxt.wrapping_add(take as u32);
-                if flags.fin {
-                    self.fin_seq = Some(self.snd_nxt);
-                    self.snd_nxt = self.snd_nxt.wrapping_add(1);
-                    self.fin_pending = false;
-                }
-                if self.rtt_sample.is_none() {
-                    self.rtt_sample = Some((self.snd_nxt, now));
-                }
-                out.push(pkt);
-                sent_any = true;
-                continue;
+        let flight = self.snd_nxt.wrapping_sub(self.snd_una) as u64;
+        let wnd = if self.cfg.congestion_control {
+            self.cwnd.min(self.snd_wnd as u64)
+        } else {
+            self.snd_wnd as u64
+        };
+        // When a FIN is in flight the buffer offset excludes it.
+        let burst_off = (self.snd_nxt.wrapping_sub(self.snd_una) as usize).min(self.send_buf.len());
+        let burst_total = (self.send_buf.len() - burst_off)
+            .min(wnd.saturating_sub(flight) as usize);
+        let burst: Bytes = if burst_total > 0 && self.fin_seq.is_none() {
+            Bytes::from(self.copy_send_range(burst_off, burst_total))
+        } else {
+            Bytes::new()
+        };
+        let seg_cap = match self.cfg.gso {
+            GsoMode::Off => self.cfg.mss,
+            _ => (GSO_MAX / self.cfg.mss).max(1) * self.cfg.mss,
+        };
+        let mut off = 0;
+        while off < burst.len() {
+            let take = (burst.len() - off).min(seg_cap);
+            let seq = self.snd_nxt;
+            let mut flags = TcpFlags::ACK;
+            // Piggyback FIN on the last segment if closing and this
+            // drains the buffer.
+            if self.fin_pending && burst_off + off + take == self.send_buf.len() {
+                flags.fin = true;
             }
-            // Bare FIN (no data pending).
-            if self.fin_pending && unsent == 0 && self.fin_seq.is_none() {
-                let seq = self.snd_nxt;
-                let pkt = self.make_segment(seq, TcpFlags::FIN_ACK, Bytes::new());
-                self.fin_seq = Some(seq);
+            let mut pkt = self.make_segment(seq, flags, burst.slice(off..off + take));
+            if take > self.cfg.mss {
+                if let Payload::Tcp(s) = &mut pkt.payload {
+                    s.gso_mss = self.cfg.mss as u16;
+                }
+            }
+            self.snd_nxt = self.snd_nxt.wrapping_add(take as u32);
+            if flags.fin {
+                self.fin_seq = Some(self.snd_nxt);
                 self.snd_nxt = self.snd_nxt.wrapping_add(1);
                 self.fin_pending = false;
-                out.push(pkt);
-                sent_any = true;
             }
-            break;
+            if self.rtt_sample.is_none() {
+                // Must match per-MSS emission: the sample is pinned to
+                // the end of the burst's FIRST wire frame (+1 if that
+                // frame also carries the FIN).
+                let first = take.min(self.cfg.mss);
+                let fin_on_first = flags.fin && take <= self.cfg.mss;
+                self.rtt_sample = Some((
+                    seq.wrapping_add(first as u32).wrapping_add(u32::from(fin_on_first)),
+                    now,
+                ));
+            }
+            out.push(pkt);
+            sent_any = true;
+            off += take;
+        }
+        // Bare FIN (no data left to carry it).
+        if self.fin_pending
+            && burst_off + burst.len() == self.send_buf.len()
+            && self.fin_seq.is_none()
+        {
+            let seq = self.snd_nxt;
+            let pkt = self.make_segment(seq, TcpFlags::FIN_ACK, Bytes::new());
+            self.fin_seq = Some(seq);
+            self.snd_nxt = self.snd_nxt.wrapping_add(1);
+            self.fin_pending = false;
+            out.push(pkt);
+            sent_any = true;
         }
         if sent_any {
             self.arm_rtx(now, timer_reqs);
@@ -918,8 +1029,12 @@ mod tests {
     }
 
     fn connected_pair() -> (TcpLayer, TcpLayer, SockId, SockId) {
-        let mut a = TcpLayer::new(TcpConfig::default());
-        let mut b = TcpLayer::new(TcpConfig::default());
+        connected_pair_with(TcpConfig::default())
+    }
+
+    fn connected_pair_with(cfg: TcpConfig) -> (TcpLayer, TcpLayer, SockId, SockId) {
+        let mut a = TcpLayer::new(cfg);
+        let mut b = TcpLayer::new(cfg);
         b.listen(80, 0);
         let ca = a.connect(addr_a(), (addr_b(), 80), 0, 1000, SimTime::ZERO);
         pump(&mut a, &mut b, SimTime::ZERO);
@@ -1035,7 +1150,8 @@ mod tests {
 
     #[test]
     fn out_of_order_segments_reassembled() {
-        let (mut a, mut b, ca, sb) = connected_pair();
+        let (mut a, mut b, ca, sb) =
+            connected_pair_with(TcpConfig { gso: GsoMode::Off, ..TcpConfig::default() });
         a.send(ca, &vec![7u8; 4000], SimTime(1)); // 3 segments at mss 1448
         let mut pkts = std::mem::take(&mut a.out);
         assert!(pkts.len() >= 2);
@@ -1051,8 +1167,8 @@ mod tests {
 
     #[test]
     fn fast_retransmit_on_triple_dupack() {
-        let cfg = TcpConfig::default();
-        let (mut a, mut b, ca, sb) = connected_pair();
+        let cfg = TcpConfig { gso: GsoMode::Off, ..TcpConfig::default() };
+        let (mut a, mut b, ca, sb) = connected_pair_with(cfg);
         let data: Vec<u8> = vec![1u8; cfg.mss * 5];
         a.send(ca, &data, SimTime(1));
         let mut pkts = std::mem::take(&mut a.out);
@@ -1133,5 +1249,80 @@ mod tests {
         assert!(seq_lt(u32::MAX - 1, 5));
         assert!(!seq_lt(5, u32::MAX - 1));
         assert!(seq_le(7, 7));
+    }
+
+    #[test]
+    fn gso_emits_super_segments_that_split_to_off_mode_frames() {
+        let cfg = TcpConfig::default(); // gso: Exact
+        let (mut a, _b, ca, _sb) = connected_pair_with(cfg);
+        let (mut a2, _b2, ca2, _sb2) =
+            connected_pair_with(TcpConfig { gso: GsoMode::Off, ..cfg });
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 241) as u8).collect();
+        a.send(ca, &data, SimTime(1));
+        a2.send(ca2, &data, SimTime(1));
+        // Exact mode sends fewer packets...
+        assert!(a.out.len() < a2.out.len(), "{} vs {}", a.out.len(), a2.out.len());
+        // ...but splitting the supers reproduces the Off-mode frames exactly.
+        let mut frames = Vec::new();
+        for p in &a.out {
+            let Payload::Tcp(seg) = &p.payload else { panic!("tcp") };
+            if seg.gso_mss > 0 {
+                frames.extend(crate::packet::split_gso(seg));
+            } else {
+                frames.push(seg.clone());
+            }
+        }
+        let off_frames: Vec<_> = a2
+            .out
+            .iter()
+            .map(|p| match &p.payload {
+                Payload::Tcp(seg) => seg.clone(),
+                _ => panic!("tcp"),
+            })
+            .collect();
+        assert_eq!(frames.len(), off_frames.len());
+        for (f, o) in frames.iter().zip(&off_frames) {
+            assert_eq!(f.seq, o.seq);
+            assert_eq!(f.data, o.data);
+            assert_eq!(f.flags, o.flags);
+            assert_eq!(f.ack, o.ack);
+            assert_eq!(f.window, o.window);
+            assert_eq!(f.gso_mss, 0);
+        }
+    }
+
+    #[test]
+    fn gso_receiver_accepts_super_segments_directly() {
+        // Layer-level pumping passes supers through unsplit (Merged-style
+        // arrival): streams must still be byte-identical.
+        let (mut a, mut b, ca, sb) = connected_pair();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 253) as u8).collect();
+        a.send(ca, &data, SimTime(1));
+        for t in 2..200 {
+            pump(&mut a, &mut b, SimTime(t));
+        }
+        assert_eq!(b.recv(sb), data);
+    }
+
+    #[test]
+    fn abort_to_uses_remote_index() {
+        let mut a = TcpLayer::new(TcpConfig::default());
+        let c1 = a.connect(addr_a(), (addr_b(), 80), 0, 1, SimTime::ZERO);
+        let c2 = a.connect(addr_a(), (addr_b(), 81), 0, 2, SimTime::ZERO);
+        let c3 = a.connect(addr_a(), (v4(10, 0, 0, 3), 80), 0, 3, SimTime::ZERO);
+        a.abort_to(addr_b());
+        assert!(!a.is_open(c1));
+        assert!(!a.is_open(c2));
+        assert!(a.is_open(c3), "other remotes untouched");
+        // Events fire in socket-index order.
+        let ids: Vec<_> = a
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TcpEvent::ConnectFailed(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![c1, c2]);
     }
 }

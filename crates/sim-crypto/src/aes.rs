@@ -333,6 +333,15 @@ impl Aes128 {
         store_words(self.decrypt_words(t, s), block);
     }
 
+    /// CBC ciphertext length for a plaintext of `plain_len` bytes under
+    /// the PKCS#7 padding [`Self::cbc_encrypt`] applies (pad is always
+    /// 1..=16 bytes, so an exact multiple grows by one block). Lets
+    /// batched callers account per-frame wire bytes analytically without
+    /// running the cipher per frame.
+    pub const fn cbc_padded_len(plain_len: usize) -> usize {
+        plain_len + (BLOCK_LEN - plain_len % BLOCK_LEN)
+    }
+
     /// CBC encryption with PKCS#7 padding. Output is a multiple of 16 bytes
     /// and always at least one block longer than an exact-multiple input.
     pub fn cbc_encrypt(&self, iv: &[u8; BLOCK_LEN], plaintext: &[u8]) -> Vec<u8> {
@@ -593,6 +602,17 @@ pub mod reference {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cbc_padded_len_matches_cbc_encrypt() {
+        let key = Aes128::new(&[7u8; 16]);
+        let iv = [3u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 23 + 1448, 23 + 65160, 100] {
+            let pt = vec![0x5au8; len];
+            let ct = key.cbc_encrypt(&iv, &pt);
+            assert_eq!(ct.len(), Aes128::cbc_padded_len(len), "len {len}");
+        }
+    }
 
     fn hex(bytes: &[u8]) -> String {
         bytes.iter().map(|b| format!("{b:02x}")).collect()

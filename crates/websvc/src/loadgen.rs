@@ -9,6 +9,8 @@
 //! - [`IperfServerApp`]/[`IperfClientApp`] — bulk-TCP throughput
 //!   measurement (iperf 2.0.5's role), keeping the pipe full and
 //!   counting received bytes.
+//! - [`BulkSendApp`] — fixed-size bulk response: exactly N bytes, then
+//!   close (the datapath-batching benchmarks' workload).
 //! - [`PingApp`] — ICMP RTT measurement, N echo requests at an interval.
 
 use crate::http::{HttpRequest, ResponseParser};
@@ -567,6 +569,85 @@ impl App for IperfClientApp {
                 self.started_at = api.now();
                 self.top_up(api);
             }
+            AppEvent::Timer { token: TIMER_TICK } => self.top_up(api),
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Sends exactly `total` bulk bytes and closes — the fixed-size cousin
+/// of [`IperfClientApp`], for experiments where the transfer size (not
+/// the duration) is the controlled variable, e.g. the datapath-batching
+/// benchmarks that compare events dispatched per megabyte moved.
+pub struct BulkSendApp {
+    target: (IpAddr, u16),
+    total: u64,
+    /// Wait this long before connecting (lets a HIP base exchange or
+    /// Teredo qualification settle first).
+    pub start_delay: SimDuration,
+    sock: Option<SockId>,
+    /// Bytes handed to TCP so far.
+    pub bytes_sent: u64,
+    done: bool,
+}
+
+impl BulkSendApp {
+    /// Streams `total` bytes to `target` once connected, then closes.
+    pub fn new(target: (IpAddr, u16), total: u64) -> Self {
+        BulkSendApp {
+            target,
+            total,
+            start_delay: SimDuration::ZERO,
+            sock: None,
+            bytes_sent: 0,
+            done: false,
+        }
+    }
+
+    fn connect_now(&mut self, api: &mut HostApi) {
+        self.sock = api.tcp_connect(self.target.0, self.target.1);
+        assert!(self.sock.is_some(), "bulk send: no source address for {}", self.target.0);
+    }
+
+    fn top_up(&mut self, api: &mut HostApi) {
+        let Some(sock) = self.sock else { return };
+        if self.done {
+            return;
+        }
+        while self.bytes_sent < self.total && api.tcp_buffered(sock) < IPERF_HIGH_WATER {
+            let n = (self.total - self.bytes_sent).min(IPERF_CHUNK as u64) as usize;
+            api.tcp_send(sock, &vec![0x55u8; n]);
+            self.bytes_sent += n as u64;
+        }
+        if self.bytes_sent >= self.total {
+            self.done = true;
+            api.tcp_close(sock);
+        } else {
+            api.set_timer(SimDuration::from_millis(5), TIMER_TICK);
+        }
+    }
+}
+
+impl App for BulkSendApp {
+    fn start(&mut self, api: &mut HostApi) {
+        if self.start_delay == SimDuration::ZERO {
+            self.connect_now(api);
+        } else {
+            api.set_timer(self.start_delay, TIMER_START);
+        }
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut HostApi) {
+        match ev {
+            AppEvent::Timer { token: TIMER_START } => self.connect_now(api),
+            AppEvent::Tcp(TcpEvent::Connected(_)) => self.top_up(api),
             AppEvent::Timer { token: TIMER_TICK } => self.top_up(api),
             _ => {}
         }
